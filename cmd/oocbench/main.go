@@ -1,0 +1,89 @@
+// Command oocbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	oocbench [-exp all|table1|table2|fig3|fig4|fig5|table3|fig6|fig7|fig8|ablate]
+//	         [-scale F] [-ratio F] [-mem MB]
+//
+// -scale multiplies every application's problem size (1 = standard);
+// -ratio overrides the data:memory ratio (0 = each app's standard);
+// -mem sets the Figure 8 machine memory in MB.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	oocp "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig3, fig4, fig5, table3, fig6, fig7, fig8, ablate)")
+	scale := flag.Float64("scale", 1.0, "problem-size multiplier")
+	ratio := flag.Float64("ratio", 0, "data:memory ratio (0 = per-app standard)")
+	memMB := flag.Float64("mem", 6, "Figure 8 machine memory, MB")
+	flag.Parse()
+
+	w := os.Stdout
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oocbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	needSuite := func() bool {
+		switch *exp {
+		case "all", "fig3", "fig4", "fig5", "table3":
+			return true
+		}
+		return false
+	}
+
+	if *exp == "all" || *exp == "table1" {
+		oocp.Table1(w)
+		fmt.Fprintln(w)
+	}
+	if *exp == "all" || *exp == "table2" {
+		oocp.Table2(w, *scale)
+		fmt.Fprintln(w)
+	}
+	if needSuite() {
+		fmt.Fprintln(w, "running the NAS suite (original, prefetching, and no-run-time-layer)...")
+		rs, err := oocp.RunSuite(*scale, *ratio, true)
+		fail(err)
+		fmt.Fprintln(w)
+		if *exp == "all" || *exp == "fig3" {
+			oocp.Fig3(w, rs)
+			fmt.Fprintln(w)
+		}
+		if *exp == "all" || *exp == "fig4" {
+			oocp.Fig4(w, rs)
+			fmt.Fprintln(w)
+		}
+		if *exp == "all" || *exp == "fig5" {
+			oocp.Fig5(w, rs)
+			fmt.Fprintln(w)
+		}
+		if *exp == "all" || *exp == "table3" {
+			oocp.Table3(w, rs)
+			fmt.Fprintln(w)
+		}
+	}
+	if *exp == "all" || *exp == "fig6" {
+		fail(oocp.Fig6(w, *scale))
+		fmt.Fprintln(w)
+	}
+	if *exp == "all" || *exp == "fig7" {
+		fail(oocp.Fig7(w, *scale))
+		fmt.Fprintln(w)
+	}
+	if *exp == "all" || *exp == "fig8" {
+		fail(oocp.Fig8(w, int64(*memMB*(1<<20))))
+		fmt.Fprintln(w)
+	}
+	if *exp == "all" || *exp == "ablate" {
+		fail(oocp.AblateAll(w, *scale))
+	}
+}

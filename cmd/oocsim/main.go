@@ -1,0 +1,121 @@
+// Command oocsim runs one application (a built-in NAS kernel or a source
+// file) on the simulated system and reports the full statistics of the
+// run, in any of the paper's configurations.
+//
+// Usage:
+//
+//	oocsim [-ratio F] [-scale F] [-original] [-no-rt] [-warm] <file.loop | APP-NAME>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	oocp "repro"
+)
+
+func main() {
+	ratio := flag.Float64("ratio", 0, "data:memory ratio (0 = app standard, e.g. 2)")
+	scale := flag.Float64("scale", 1.0, "problem-size multiplier")
+	original := flag.Bool("original", false, "run without prefetching (the O configuration)")
+	noRT := flag.Bool("no-rt", false, "disable the run-time filtering layer")
+	warm := flag.Bool("warm", false, "warm-start: preload the data set before timing")
+	timeline := flag.Bool("timeline", false, "print an ASCII timeline of free memory and faults")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: oocsim [flags] <file.loop | APP-NAME>")
+		os.Exit(2)
+	}
+	arg := flag.Arg(0)
+
+	var prog *oocp.Program
+	var cfgSeed func(cfg *oocp.Config)
+	app := oocp.AppByName(arg)
+	if app != nil {
+		prog = app.Build(*scale)
+		cfgSeed = func(cfg *oocp.Config) { cfg.Seed = app.Seed }
+		if *ratio <= 0 {
+			*ratio = app.Ratio()
+		}
+	} else {
+		src, err := os.ReadFile(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oocsim:", err)
+			os.Exit(1)
+		}
+		prog, err = oocp.ParseProgram(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oocsim:", err)
+			os.Exit(1)
+		}
+		cfgSeed = func(cfg *oocp.Config) {}
+		if *ratio <= 0 {
+			*ratio = 2
+		}
+	}
+
+	machine := oocp.DefaultMachine()
+	if err := prog.Resolve(machine.PageSize); err != nil {
+		fmt.Fprintln(os.Stderr, "oocsim:", err)
+		os.Exit(1)
+	}
+	data := oocp.DataBytes(prog, machine.PageSize)
+	cfg := oocp.DefaultConfig(oocp.MachineFor(data, *ratio))
+	cfg.Prefetch = !*original
+	cfg.RuntimeFilter = !*noRT
+	cfg.WarmStart = *warm
+	if *timeline {
+		cfg.SamplePeriod = 20 * 1000 * 1000 // 20ms of simulated time
+	}
+	cfgSeed(&cfg)
+
+	res, err := oocp.Run(prog, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oocsim:", err)
+		os.Exit(1)
+	}
+	if app != nil {
+		if err := app.Check(prog, res.VM, res.Env); err != nil {
+			fmt.Fprintln(os.Stderr, "oocsim: VALIDATION FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("validation: ok")
+	}
+
+	fmt.Printf("program          %s\n", prog.Name)
+	fmt.Printf("data             %.2f MB (%.2fx memory)\n",
+		float64(data)/(1<<20), float64(data)/float64(cfg.Machine.MemoryBytes))
+	fmt.Printf("execution time   %v\n", res.Elapsed)
+	t := res.Times
+	fmt.Printf("  user           %v\n", t.User)
+	fmt.Printf("  sys (faults)   %v\n", t.SysFault)
+	fmt.Printf("  sys (prefetch) %v\n", t.SysPrefetch)
+	fmt.Printf("  idle (stall)   %v\n", t.Idle)
+	m := res.Mem
+	fmt.Printf("faults           %d major, %d minor\n", m.MajorFaults, m.MinorFaults)
+	fmt.Printf("fault classes    %d prefetched-hit, %d prefetched-fault, %d non-prefetched (coverage %.1f%%)\n",
+		m.PrefetchedHits, m.PrefetchedFaults, m.NonPrefetchedFault, m.CoverageFactor()*100)
+	fmt.Printf("prefetch calls   %d syscalls, %d pages issued, %d unnecessary at OS, %d dropped\n",
+		m.PrefetchCalls, m.PrefetchIssued, m.PrefetchUnneeded, m.PrefetchDropped)
+	fmt.Printf("run-time layer   %d inserted pages, %.1f%% filtered\n",
+		res.RT.InsertedPages, res.RT.UnnecessaryInsertedFrac()*100)
+	fmt.Printf("releases         %d pages; avg memory free %.1f%%\n", m.ReleasedPages, res.AvgFree*100)
+	fmt.Printf("disk utilization %.1f%%\n", res.DiskUtil*100)
+	if *timeline {
+		fmt.Println()
+		fmt.Print(oocp.RenderTimeline(res, 72))
+	}
+	if len(res.Plan) > 0 {
+		fmt.Println("\ncompiler plan:")
+		for _, e := range res.Plan {
+			status := "covered at " + e.Pipeline
+			if !e.Covered {
+				status = "MISSED"
+			}
+			fmt.Printf("  %-10s %-9s %s (strip %d, %d pages, distance %d, release %v)\n",
+				e.Array, e.Kind, status, e.StripLen, e.Pages, e.Dist, e.Release)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Compiler-explorer: reproduces the paper's Figure 2 — feed the compiler
+// the motivating loop nest (dense b[i], two-dimensional c[i][j], and the
+// indirect a[b[i]]) and print the transformed code with its strip-mined
+// loops, prolog block prefetches, per-iteration indirect prefetches, and
+// bundled prefetch_release_block calls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	oocp "repro"
+)
+
+const figure2 = `
+program figure2
+param rows = 100000
+param N = 64            // one row of c is 512 B — less than a page
+array double a[1 << 17]
+array long b[rows]
+array double c[rows][N]
+scalar double t
+
+for i = 0 .. rows {
+    for j = 0 .. N {
+        t = t + c[i][j]
+    }
+    a[b[i]] = a[b[i]] + 1.0
+}
+`
+
+func main() {
+	prog, err := oocp.ParseProgram(figure2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := oocp.DefaultMachine()
+	machine.MemoryBytes = 8 << 20
+
+	res, err := oocp.Compile(prog, machine, oocp.DefaultCompilerOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("/* ---- input (the paper's Figure 2(a)) ---- */")
+	fmt.Print(oocp.PrintProgram(prog))
+	fmt.Println()
+	fmt.Println("/* ---- compiler plan ---- */")
+	fmt.Print(res.PlanString())
+	fmt.Println()
+	fmt.Println("/* ---- output (the paper's Figure 2(b)) ---- */")
+	fmt.Print(oocp.PrintProgram(res.Prog))
+	fmt.Println()
+	fmt.Println("/* note the two strip levels (i0, i1): c[i][j] consumes data faster")
+	fmt.Println("   than b[i], so it is prefetched at a faster rate, exactly as in the")
+	fmt.Println("   paper; a[b[i]] gets a one-page prefetch through the index array. */")
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/nas"
+)
+
+// AblateTwoVersion runs APPBT with and without the two-version-loop
+// extension (§4.1.1's proposed fix for symbolic inner bounds) and prints
+// the coverage and speedup recovery.
+func AblateTwoVersion(w io.Writer, scale float64) error {
+	fmt.Fprintln(w, "Ablation: two-version loops (the paper's proposed fix for APPBT)")
+	fmt.Fprintln(w, "-----------------------------------------------------------------")
+	app := nas.ByName("APPBT")
+	plain, err := RunApp(app, scale, 0, false, nil)
+	if err != nil {
+		return err
+	}
+	fixed, err := RunApp(app, scale, 0, false, func(cfg *core.Config) {
+		cfg.Options = TwoVersionOptions()
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-22s %10s %10s\n", "", "coverage", "speedup")
+	fmt.Fprintf(w, "  %-22s %9.1f%% %9.2fx\n", "APPBT (symbolic bm)",
+		plain.P.Mem.CoverageFactor()*100, plain.Speedup())
+	fmt.Fprintf(w, "  %-22s %9.1f%% %9.2fx\n", "APPBT (two-version)",
+		fixed.P.Mem.CoverageFactor()*100, fixed.Speedup())
+	return nil
+}
+
+// AblatePagesPerFetch sweeps the compiler's block-prefetch size on a
+// streaming application (the paper chose 4 "arbitrarily"; this shows the
+// tradeoff it embodies).
+func AblatePagesPerFetch(w io.Writer, scale float64) error {
+	fmt.Fprintln(w, "Ablation: pages per block prefetch (BUK)")
+	fmt.Fprintln(w, "----------------------------------------")
+	fmt.Fprintf(w, "  %-6s %10s %14s %12s\n", "pages", "speedup", "pf-syscalls", "stall-elim")
+	app := nas.ByName("BUK")
+	for _, ppf := range []int64{1, 2, 4, 8, 16} {
+		opts := compiler.DefaultOptions()
+		opts.PagesPerFetch = ppf
+		r, err := RunApp(app, scale, 0, false, func(cfg *core.Config) {
+			cfg.Options = &opts
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-6d %9.2fx %14d %11.0f%%\n",
+			ppf, r.Speedup(), r.P.Mem.PrefetchCalls, r.StallEliminated()*100)
+	}
+	return nil
+}
+
+// AblateReleases runs BUK with releases disabled, quantifying what the
+// release hints buy (free memory and write-back avoidance).
+func AblateReleases(w io.Writer, scale float64) error {
+	fmt.Fprintln(w, "Ablation: release hints (BUK)")
+	fmt.Fprintln(w, "-----------------------------")
+	app := nas.ByName("BUK")
+	with, err := RunApp(app, scale, 0, false, nil)
+	if err != nil {
+		return err
+	}
+	opts := compiler.DefaultOptions()
+	opts.Releases = false
+	without, err := RunApp(app, scale, 0, false, func(cfg *core.Config) {
+		cfg.Options = &opts
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-18s %10s %12s %10s\n", "", "speedup", "mem-free", "releases")
+	fmt.Fprintf(w, "  %-18s %9.2fx %11.0f%% %10d\n", "with releases",
+		with.Speedup(), with.P.AvgFree*100, with.P.Mem.ReleasedPages)
+	fmt.Fprintf(w, "  %-18s %9.2fx %11.0f%% %10d\n", "without releases",
+		without.Speedup(), without.P.AvgFree*100, without.P.Mem.ReleasedPages)
+	return nil
+}
+
+// AblateScheduler compares FCFS (the paper's configuration) with SCAN
+// disk scheduling under prefetching.
+func AblateScheduler(w io.Writer, scale float64) error {
+	fmt.Fprintln(w, "Ablation: disk scheduling under prefetching (CGM)")
+	fmt.Fprintln(w, "-------------------------------------------------")
+	app := nas.ByName("CGM")
+	fcfs, err := RunApp(app, scale, 0, false, nil)
+	if err != nil {
+		return err
+	}
+	scan, err := RunApp(app, scale, 0, false, func(cfg *core.Config) {
+		cfg.Elevator = true
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-10s P = %v\n", "FCFS", fcfs.P.Elapsed)
+	fmt.Fprintf(w, "  %-10s P = %v\n", "elevator", scan.P.Elapsed)
+	return nil
+}

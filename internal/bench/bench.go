@@ -1,0 +1,121 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation section (§3–§4) from the simulated
+// system, printing the same rows and series the paper reports. Absolute
+// numbers differ (the substrate is a simulator, not the authors' Hector
+// testbed); the shapes — who wins, by what factor, where the crossovers
+// fall — are the reproduction targets recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/nas"
+)
+
+// AppResult bundles the runs of one application under one problem size.
+type AppResult struct {
+	Name      string
+	DataBytes int64
+	Machine   hw.Params
+	O         *core.Result // original: plain paged virtual memory
+	P         *core.Result // compiler-inserted prefetching + run-time layer
+	NoRT      *core.Result // prefetching without the run-time layer (Fig 4(c)); may be nil
+}
+
+// Speedup returns O time / P time.
+func (a *AppResult) Speedup() float64 { return a.P.Speedup(a.O) }
+
+// StallEliminated returns the fraction of the original run's idle (I/O
+// stall) time that prefetching removed.
+func (a *AppResult) StallEliminated() float64 {
+	if a.O.Times.Idle == 0 {
+		return 0
+	}
+	saved := a.O.Times.Idle - a.P.Times.Idle
+	return float64(saved) / float64(a.O.Times.Idle)
+}
+
+// RunApp runs one application at the given problem scale with the data
+// set standing in the given ratio to memory. withNoRT additionally runs
+// the no-run-time-layer configuration. Every run is validated against the
+// kernel's independent reference implementation.
+func RunApp(app *nas.App, scale, ratio float64, withNoRT bool, mutate func(*core.Config)) (*AppResult, error) {
+	if ratio <= 0 {
+		ratio = app.Ratio()
+	}
+	build := func() (*core.Config, int64, error) {
+		prog := app.Build(scale)
+		ps := hw.Default().PageSize
+		if err := prog.Resolve(ps); err != nil {
+			return nil, 0, err
+		}
+		data := nas.DataBytes(prog, ps)
+		cfg := core.DefaultConfig(core.MachineFor(data, ratio))
+		cfg.Seed = app.Seed
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return &cfg, data, nil
+	}
+
+	runOne := func(adjust func(*core.Config)) (*core.Result, error) {
+		cfg, _, err := build()
+		if err != nil {
+			return nil, err
+		}
+		adjust(cfg)
+		prog := app.Build(scale)
+		res, err := core.Run(prog, *cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.Name, err)
+		}
+		if err := app.Check(prog, res.VM, res.Env); err != nil {
+			return nil, fmt.Errorf("%s: %w", app.Name, err)
+		}
+		return res, nil
+	}
+
+	cfg, data, err := build()
+	if err != nil {
+		return nil, err
+	}
+	out := &AppResult{Name: app.Name, DataBytes: data, Machine: cfg.Machine}
+	if out.O, err = runOne(func(c *core.Config) { c.Prefetch = false }); err != nil {
+		return nil, err
+	}
+	if out.P, err = runOne(func(c *core.Config) {}); err != nil {
+		return nil, err
+	}
+	if withNoRT {
+		if out.NoRT, err = runOne(func(c *core.Config) { c.RuntimeFilter = false }); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunSuite runs the whole NAS suite at the paper's standard out-of-core
+// setting (scale 1, data ≈ 2× memory), including the no-run-time-layer
+// configuration, reusing results across Figures 3–5 and Table 3.
+func RunSuite(scale, ratio float64, withNoRT bool) ([]*AppResult, error) {
+	var out []*AppResult
+	for _, app := range nas.Apps() {
+		r, err := RunApp(app, scale, ratio, withNoRT, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// TwoVersionOptions returns compiler options with the §4.1.1 two-version
+// loop extension enabled (the APPBT ablation).
+func TwoVersionOptions() *compiler.Options {
+	o := compiler.DefaultOptions()
+	o.TwoVersionLoops = true
+	return &o
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// normBar renders a stacked execution-time bar normalized to base.
+func normBar(t vm.TimeStats, base sim.Time) string {
+	f := func(x sim.Time) float64 { return 100 * float64(x) / float64(base) }
+	return fmt.Sprintf("%6.1f = user %5.1f + sys-fault %5.1f + sys-pf %5.1f + idle %5.1f",
+		f(t.Total()), f(t.User), f(t.SysFault), f(t.SysPrefetch), f(t.Idle))
+}
+
+// Fig3 prints the overall performance comparison: Figure 3(a)'s
+// normalized execution-time bars with the user/system/idle breakdown, and
+// Figure 3(b)'s page-fault and stall-time reductions.
+func Fig3(w io.Writer, rs []*AppResult) {
+	fmt.Fprintln(w, "Figure 3(a): Normalized execution time (O = original paged VM = 100, P = prefetching)")
+	fmt.Fprintln(w, "--------------------------------------------------------------------------------------")
+	for _, r := range rs {
+		base := r.O.Times.Total()
+		fmt.Fprintf(w, "  %-6s O: %s\n", r.Name, normBar(r.O.Times, base))
+		fmt.Fprintf(w, "  %-6s P: %s   speedup %.2fx\n", "", normBar(r.P.Times, base), r.Speedup())
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 3(b): Page faults and I/O stall time")
+	fmt.Fprintln(w, "-------------------------------------------")
+	fmt.Fprintf(w, "  %-6s %12s %12s %12s %12s %10s\n",
+		"app", "faults(O)", "faults(P)", "stall(O)", "stall(P)", "stall-elim")
+	for _, r := range rs {
+		fmt.Fprintf(w, "  %-6s %12d %12d %12v %12v %9.0f%%\n",
+			r.Name, r.O.Mem.MajorFaults, r.P.Mem.MajorFaults,
+			r.O.Times.Idle, r.P.Times.Idle, r.StallEliminated()*100)
+	}
+}
+
+// Fig4 prints the compiler/run-time-layer effectiveness figures:
+// Figure 4(a)'s fault-coverage breakdown, Figure 4(b)'s unnecessary
+// prefetch fractions, and Figure 4(c)'s no-run-time-layer comparison.
+func Fig4(w io.Writer, rs []*AppResult) {
+	fmt.Fprintln(w, "Figure 4(a): Breakdown of original page faults (prefetching runs)")
+	fmt.Fprintln(w, "------------------------------------------------------------------")
+	fmt.Fprintf(w, "  %-6s %14s %16s %18s %9s\n",
+		"app", "prefetched-hit", "prefetched-fault", "non-prefetched", "coverage")
+	for _, r := range rs {
+		m := r.P.Mem
+		total := m.OriginalFaults()
+		if total == 0 {
+			total = 1
+		}
+		pct := func(v int64) float64 { return 100 * float64(v) / float64(total) }
+		fmt.Fprintf(w, "  %-6s %13.1f%% %15.1f%% %17.1f%% %8.1f%%\n",
+			r.Name, pct(m.PrefetchedHits), pct(m.PrefetchedFaults),
+			pct(m.NonPrefetchedFault), m.CoverageFactor()*100)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 4(b): Unnecessary prefetches")
+	fmt.Fprintln(w, "-----------------------------------")
+	fmt.Fprintf(w, "  %-6s %26s %30s\n", "app", "unnecessary at OS (issued)", "inserted & filtered by run-time")
+	for _, r := range rs {
+		fmt.Fprintf(w, "  %-6s %25.1f%% %29.1f%%\n",
+			r.Name, r.P.Mem.UnnecessaryAtOSFrac()*100, r.P.RT.UnnecessaryInsertedFrac()*100)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 4(c): Performance without the run-time layer (normalized to original = 100)")
+	fmt.Fprintln(w, "-----------------------------------------------------------------------------------")
+	fmt.Fprintf(w, "  %-6s %10s %10s %12s\n", "app", "P", "P-no-rt", "rt-essential")
+	for _, r := range rs {
+		if r.NoRT == nil {
+			continue
+		}
+		base := float64(r.O.Times.Total())
+		p := 100 * float64(r.P.Times.Total()) / base
+		n := 100 * float64(r.NoRT.Times.Total()) / base
+		verdict := ""
+		if n > 100 {
+			verdict = "slower than original"
+		}
+		fmt.Fprintf(w, "  %-6s %9.1f%% %9.1f%% %12s\n", r.Name, p, n, verdict)
+	}
+}
+
+// Fig5 prints the disk request breakdown and average disk utilization.
+func Fig5(w io.Writer, rs []*AppResult) {
+	fmt.Fprintln(w, "Figure 5: Disk requests and utilization (O = original, P = prefetching)")
+	fmt.Fprintln(w, "------------------------------------------------------------------------")
+	fmt.Fprintf(w, "  %-6s %-3s %12s %12s %12s %12s %6s\n",
+		"app", "", "fault-reads", "pf-reads", "writes", "total", "util")
+	sum := func(ds []disk.Stats, k disk.Kind) int64 {
+		var n int64
+		for _, d := range ds {
+			n += d.Requests[k]
+		}
+		return n
+	}
+	for _, r := range rs {
+		o, p := r.O, r.P
+		fmt.Fprintf(w, "  %-6s %-3s %12d %12d %12d %12d %5.0f%%\n",
+			r.Name, "O", sum(o.DiskStats, disk.FaultRead), sum(o.DiskStats, disk.PrefetchRead),
+			sum(o.DiskStats, disk.Write),
+			sum(o.DiskStats, disk.FaultRead)+sum(o.DiskStats, disk.PrefetchRead)+sum(o.DiskStats, disk.Write),
+			o.DiskUtil*100)
+		fmt.Fprintf(w, "  %-6s %-3s %12d %12d %12d %12d %5.0f%%\n",
+			"", "P", sum(p.DiskStats, disk.FaultRead), sum(p.DiskStats, disk.PrefetchRead),
+			sum(p.DiskStats, disk.Write),
+			sum(p.DiskStats, disk.FaultRead)+sum(p.DiskStats, disk.PrefetchRead)+sum(p.DiskStats, disk.Write),
+			p.DiskUtil*100)
+	}
+	fmt.Fprintln(w, "  (paper shape: totals do not increase with prefetching; utilization rises")
+	fmt.Fprintln(w, "   because the same accesses happen over a shorter time)")
+}

@@ -1,0 +1,394 @@
+// Package compiler is the prefetching compiler of the paper: it analyzes
+// a program's loop nests with the locality analysis, decides which
+// references need prefetching and along which loop to software-pipeline
+// them, strip-mines loops so that spatial references are prefetched once
+// per block of pages rather than once per iteration, schedules prefetches
+// a latency-covering distance ahead, converts pipeline prologs into block
+// prefetches, and emits release hints for the trailing references of
+// streaming groups, bundled with prefetches into single calls.
+//
+// The output is a transformed copy of the program; the original is left
+// untouched, so "original" and "prefetching" versions of an application
+// can run side by side, as in the paper's O and P bars.
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/ir"
+	"repro/internal/locality"
+)
+
+// Options configure the pass.
+type Options struct {
+	// PagesPerFetch is the block size for spatial prefetches ("the number
+	// of pages to fetch in a block is a parameter which can be specified
+	// to the compiler"; the paper uses 4).
+	PagesPerFetch int64
+
+	// Releases enables release-hint insertion for the trailing references
+	// of streaming groups in out-of-core nests.
+	Releases bool
+
+	// TwoVersionLoops enables the future-work extension of §4.1.1: loops
+	// with compile-time-unknown bounds are versioned and the right
+	// pipelining level chosen by a run-time bound test. It is modeled by
+	// letting the analysis see run-time bounds, which yields exactly the
+	// code the correct version would contain.
+	TwoVersionLoops bool
+
+	// DefaultEstTrip is the assumed trip count for unknown loop bounds.
+	DefaultEstTrip int64
+
+	// MaxDistancePages caps the prefetch lead distance, in pages per
+	// reference, so prefetched data cannot flood memory. Zero derives a
+	// cap from the machine's memory size.
+	MaxDistancePages int64
+}
+
+// DefaultOptions mirror the paper's configuration.
+func DefaultOptions() Options {
+	return Options{PagesPerFetch: 4, Releases: true, DefaultEstTrip: 1024}
+}
+
+// PlanEntry describes what the compiler decided for one locality group.
+type PlanEntry struct {
+	Array    string
+	Kind     locality.RefKind
+	Pipeline string // loop variable prefetches pipeline along; "" if none
+	StripLen int64  // iterations between prefetches
+	Pages    int64  // pages per prefetch call
+	Dist     int64  // lead distance, iterations of the pipeline loop
+	Release  bool
+	Covered  bool
+}
+
+// Result is the compiler's output.
+type Result struct {
+	Prog *ir.Program
+	Plan []PlanEntry
+}
+
+// PlanString renders the plan as a table for the compiler driver.
+func (r *Result) PlanString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-9s %-9s %9s %6s %8s %8s\n",
+		"array", "kind", "pipeline", "strip-len", "pages", "distance", "release")
+	for _, e := range r.Plan {
+		pipe := e.Pipeline
+		if !e.Covered {
+			pipe = "(none)"
+		}
+		fmt.Fprintf(&b, "%-10s %-9s %-9s %9d %6d %8d %8v\n",
+			e.Array, e.Kind, pipe, e.StripLen, e.Pages, e.Dist, e.Release)
+	}
+	return b.String()
+}
+
+// job is one planned prefetch stream attached to a pipeline loop.
+type job struct {
+	group    *locality.Group
+	kind     locality.RefKind
+	stripLen int64 // iterations of the pipeline loop per prefetch
+	pages    int64 // pages per prefetch
+	dist     int64 // lead distance in iterations (multiple of stripLen)
+	release  bool
+	top      *ir.Loop // outermost enclosing loop (budget domain)
+}
+
+// inFlightPages returns how many pages this job keeps in flight.
+func (j *job) inFlightPages() int64 {
+	if j.stripLen == 0 {
+		return 0
+	}
+	return j.dist / j.stripLen * j.pages
+}
+
+// Compile runs the pass. The program must already be resolved against the
+// machine's page size (Compile resolves it if not).
+func Compile(p *ir.Program, machine hw.Params, opt Options) (*Result, error) {
+	if opt.PagesPerFetch <= 0 {
+		opt.PagesPerFetch = 4
+	}
+	if opt.DefaultEstTrip <= 0 {
+		opt.DefaultEstTrip = 1024
+	}
+	if opt.MaxDistancePages <= 0 {
+		opt.MaxDistancePages = machine.Frames() / 8
+		if opt.MaxDistancePages < opt.PagesPerFetch {
+			opt.MaxDistancePages = opt.PagesPerFetch
+		}
+	}
+	if !p.Resolved() {
+		if err := p.Resolve(machine.PageSize); err != nil {
+			return nil, err
+		}
+	}
+
+	// The two-version extension: analysis sees run-time bounds (the
+	// emitted code corresponds to the version the run-time test selects).
+	restore := []*ir.Param{}
+	if opt.TwoVersionLoops {
+		for _, prm := range p.Params {
+			if !prm.Known {
+				prm.Known = true
+				restore = append(restore, prm)
+			}
+		}
+	}
+	an := locality.Analyze(p, machine.PageSize, opt.DefaultEstTrip)
+	for _, prm := range restore {
+		prm.Known = false
+	}
+
+	t := &transform{
+		an:      an,
+		machine: machine,
+		opt:     opt,
+		out:     cloneProgram(p),
+		jobs:    map[*ir.Loop][]job{},
+	}
+	res := &Result{Prog: t.out}
+	t.plan(res)
+	t.budget(res)
+	t.out.Body = t.rebuild(p.Body)
+	if t.err != nil {
+		return nil, t.err
+	}
+	return res, nil
+}
+
+// cloneProgram copies the program shell; arrays and parameters (and their
+// slots) are shared, statement bodies are rebuilt by the transform.
+func cloneProgram(p *ir.Program) *ir.Program {
+	out := *p
+	out.Name = p.Name + "+pf"
+	return &out
+}
+
+// plan turns the analysis groups into jobs hanging off their pipeline
+// loops, and fills in the human-readable plan. Groups that would emit a
+// prefetch for the same address stream at the same loop (e.g. the read
+// and write halves of count[key[i]]++) are deduplicated.
+func (t *transform) plan(res *Result) {
+	emitted := map[string]bool{}
+	for _, g := range t.an.Groups {
+		lead := g.Leader
+		entry := PlanEntry{Array: g.Arr.Name, Kind: lead.Kind}
+		L := t.an.PipelineLoop(lead)
+		if L == nil {
+			res.Plan = append(res.Plan, entry)
+			continue
+		}
+		entry.Covered = true
+		entry.Pipeline = L.Var
+
+		j, at, ok := t.schedule(g, L)
+		if !ok {
+			// §2.3 / §4.1.1: the lead distance does not fit the trip
+			// count of any analyzable enclosing loop — the software
+			// pipeline never gets started and the reference is missed.
+			// This is the compiler mistake that costs APPBT its coverage
+			// when inner bounds are only known at run time.
+			entry.Covered = false
+			entry.Pipeline = ""
+			res.Plan = append(res.Plan, entry)
+			continue
+		}
+		entry.Pipeline = at.Var
+		entry.StripLen = j.stripLen
+		entry.Pages = j.pages
+		entry.Dist = j.dist
+		entry.Release = j.release
+		res.Plan = append(res.Plan, entry)
+
+		sig := fmt.Sprintf("%p|%s|%v|%d", at, g.Arr.Name, g.Leader.Idx, j.stripLen)
+		if emitted[sig] {
+			continue // another group already prefetches this stream here
+		}
+		emitted[sig] = true
+		if len(g.Leader.Path) > 0 {
+			j.top = g.Leader.Path[0]
+		}
+		t.jobs[at] = append(t.jobs[at], j)
+	}
+}
+
+// budget enforces a global memory budget on prefetch lead distances: the
+// streams that run concurrently (those under the same top-level loop
+// nest) may together keep at most a quarter of memory in flight, or
+// prefetched pages would evict each other before use. Each stream keeps
+// at least one strip of lead.
+func (t *transform) budget(res *Result) {
+	byTop := map[*ir.Loop][]*job{}
+	for _, jobs := range t.jobs {
+		for i := range jobs {
+			j := &jobs[i]
+			byTop[j.top] = append(byTop[j.top], j)
+		}
+	}
+	limit := t.machine.Frames() / 4
+	if limit < t.opt.PagesPerFetch {
+		limit = t.opt.PagesPerFetch
+	}
+	for _, jobs := range byTop {
+		var total int64
+		for _, j := range jobs {
+			total += j.inFlightPages()
+		}
+		if total <= limit {
+			continue
+		}
+		factor := float64(limit) / float64(total)
+		for _, j := range jobs {
+			strips := j.dist / j.stripLen
+			scaled := int64(float64(strips) * factor)
+			if scaled < 1 {
+				scaled = 1
+			}
+			j.dist = scaled * j.stripLen
+		}
+	}
+	// Reflect the final distances in the plan (entries are matched by
+	// array name and strip length; close enough for reporting).
+	for i := range res.Plan {
+		e := &res.Plan[i]
+		for _, jobs := range t.jobs {
+			for k := range jobs {
+				j := &jobs[k]
+				if j.group.Arr.Name == e.Array && j.stripLen == e.StripLen && j.dist < e.Dist {
+					e.Dist = j.dist
+				}
+			}
+		}
+	}
+}
+
+// schedule plans one group's prefetch stream. It starts at the locality
+// analysis's pipeline loop and, when the lead distance would exceed the
+// loop's trip count (the pipeline could never get started), moves outward
+// to the next enclosing loop the reference varies with — exactly the
+// paper's "first surrounding loop" rule applied transitively. It reports
+// failure only when no enclosing analyzable loop can host the pipeline.
+func (t *transform) schedule(g *locality.Group, first *ir.Loop) (job, *ir.Loop, bool) {
+	lead := g.Leader
+	ps := t.machine.PageSize
+
+	// Build the outward candidate list starting at the analysis's choice.
+	var candidates []*ir.Loop
+	started := false
+	for i := len(lead.Path) - 1; i >= 0; i-- {
+		l := lead.Path[i]
+		if l == first {
+			started = true
+		}
+		if !started {
+			continue
+		}
+		if lead.Kind == locality.Indirect {
+			// Indirect prefetch addresses must be generated where the
+			// index value is available: only the innermost driving loop
+			// can host them (Figure 2's a[b[i+dist]]).
+			if lead.IndirectSlots[l.Slot] && len(candidates) == 0 {
+				candidates = append(candidates, l)
+			}
+		} else if lead.Coeffs[l.Slot] != 0 {
+			candidates = append(candidates, l)
+		}
+	}
+
+	for ci, L := range candidates {
+		trip, _ := t.an.TripCount(L)
+		j := job{group: g, kind: lead.Kind}
+		if lead.Kind == locality.Indirect {
+			j.stripLen = 1
+			j.pages = 1
+			j.dist = t.latencyIters(L, 1)
+			if j.dist >= trip {
+				if ci+1 < len(candidates) {
+					continue // pipeline across the next loop out
+				}
+				if trip/2 >= 1 {
+					j.dist = trip / 2 // degrade: hide part of the latency
+				} else {
+					return job{}, nil, false
+				}
+			}
+		} else {
+			strideB := lead.StrideBytes(L)
+			if strideB < 0 {
+				strideB = -strideB
+			}
+			j.stripLen = t.opt.PagesPerFetch * ps / strideB
+			if j.stripLen < 1 {
+				j.stripLen = 1
+			}
+			j.pages = (j.stripLen*strideB + ps - 1) / ps
+			j.dist = t.latencyIters(L, j.stripLen)
+			// Cap the lead distance by the memory budget.
+			if maxStrips := t.opt.MaxDistancePages / j.pages; maxStrips >= 1 {
+				if lim := maxStrips * j.stripLen; j.dist > lim {
+					j.dist = lim
+				}
+			}
+			if j.dist >= trip {
+				if ci+1 < len(candidates) {
+					continue
+				}
+				if trip > j.stripLen {
+					j.dist = (trip - 1) / j.stripLen * j.stripLen // partial hiding
+				} else {
+					return job{}, nil, false
+				}
+			}
+			j.release = t.opt.Releases && t.releasable(g, L)
+		}
+		return j, L, true
+	}
+	return job{}, nil, false
+}
+
+// latencyIters returns the prefetch lead distance, in pipeline-loop
+// iterations rounded up to a whole number of strips: enough iterations
+// that the work between issue and use covers the full fault latency.
+func (t *transform) latencyIters(L *ir.Loop, stripLen int64) int64 {
+	iterOps := t.an.EstimateIterOps(L)
+	latency := int64(t.machine.AvgPageRead() + t.machine.FaultServiceTime)
+	perIter := iterOps * int64(t.machine.OpTime)
+	if perIter < 1 {
+		perIter = 1
+	}
+	iters := (latency + perIter - 1) / perIter
+	if iters < 1 {
+		iters = 1
+	}
+	strips := (iters + stripLen - 1) / stripLen
+	return strips * stripLen
+}
+
+// releasable reports whether a group's trailing reference should carry a
+// release: the pipeline loop is a top-level streaming pass (nothing
+// outside it can re-reference the data soon) and the stream is
+// out-of-core, so the pages are dead once the trailing reference passes.
+// This conservative rule matches the paper's "not aggressive" release
+// insertion, which produced significant releases only for the streaming
+// applications (BUK, EMBAR).
+func (t *transform) releasable(g *locality.Group, L *ir.Loop) bool {
+	lead := g.Leader
+	if len(lead.Path) == 0 || lead.Path[0] != L {
+		return false
+	}
+	return t.an.FootprintUpTo(lead, L) > t.machine.MemoryBytes/2
+}
+
+// transform carries the rebuild state.
+type transform struct {
+	an      *locality.Analysis
+	machine hw.Params
+	opt     Options
+	out     *ir.Program
+	jobs    map[*ir.Loop][]job
+	err     error
+}

@@ -1,0 +1,187 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/hw"
+	"repro/internal/ir"
+	"repro/internal/rt"
+	"repro/internal/sim"
+	"repro/internal/stripefs"
+	"repro/internal/vm"
+)
+
+// Differential testing: generate random loop-nest programs, run each on
+// an out-of-core machine with plain paging and with compiler-inserted
+// prefetching, and require bit-identical results. This is the central
+// soundness property of non-binding prefetching: hints may only move I/O
+// around, never change what the program computes.
+
+// genProgram builds a random but well-formed program from rng. Every
+// subscript is clamped into bounds with min/max (which also exercises the
+// analyzer's opaque fallback); indirect accesses go through an index
+// array seeded with valid indices.
+func genProgram(rng *rand.Rand) (*ir.Program, func(*stripefs.File, int64)) {
+	p := ir.NewProgram("fuzz")
+	nA := int64(2048 + rng.Intn(4096))
+	nB := int64(1024 + rng.Intn(2048))
+	n := p.NewParam("n", nA, rng.Intn(4) != 0) // occasionally unknown
+	m := p.NewParam("m", nB, true)
+	a := p.NewArrayF("a", n)
+	bArr := p.NewArrayF("b", m)
+	idxArr := p.NewArrayI("idx", m)
+	s := p.NewScalarF("s")
+
+	clampA := func(e ir.IExpr) ir.IExpr {
+		return ir.MaxI(ir.Int(0), ir.MinI(e, ir.SubI(n, ir.Int(1))))
+	}
+	clampB := func(e ir.IExpr) ir.IExpr {
+		return ir.MaxI(ir.Int(0), ir.MinI(e, ir.SubI(m, ir.Int(1))))
+	}
+
+	// Random float expression over the loop variable v.
+	var fexpr func(v ir.ISlot, depth int) ir.FExpr
+	fexpr = func(v ir.ISlot, depth int) ir.FExpr {
+		switch rng.Intn(7) {
+		case 0:
+			return ir.Flt(float64(rng.Intn(9)) + 0.5)
+		case 1:
+			return ir.FScalar{Slot: s.Slot, Name: s.Name}
+		case 2:
+			off := int64(rng.Intn(7)) - 3
+			return ir.LoadF(a, clampA(ir.AddI(v, ir.Int(off))))
+		case 3:
+			return ir.LoadF(bArr, clampB(v))
+		case 4:
+			// Indirect a[idx[v]] (idx values are valid a-indices).
+			return ir.LoadF(a, ir.LoadI(idxArr, clampB(v)))
+		case 5:
+			if depth > 0 {
+				return ir.AddF(fexpr(v, depth-1), fexpr(v, depth-1))
+			}
+			return ir.Flt(1)
+		default:
+			if depth > 0 {
+				return ir.MulF(fexpr(v, depth-1), ir.Flt(0.5))
+			}
+			return ir.Flt(2)
+		}
+	}
+
+	var body []ir.Stmt
+	nests := 1 + rng.Intn(3)
+	for k := 0; k < nests; k++ {
+		v := p.NewLoopVar("i")
+		var inner []ir.Stmt
+		stmts := 1 + rng.Intn(3)
+		for q := 0; q < stmts; q++ {
+			switch rng.Intn(4) {
+			case 0:
+				inner = append(inner, ir.StoreF(a, []ir.IExpr{clampA(v)}, fexpr(v, 2)))
+			case 1:
+				inner = append(inner, ir.StoreF(bArr, []ir.IExpr{clampB(v)}, fexpr(v, 1)))
+			case 2:
+				inner = append(inner, ir.SetF(s, ir.AddF(ir.FScalar{Slot: s.Slot, Name: s.Name}, fexpr(v, 1))))
+			default:
+				inner = append(inner, ir.If{
+					Cond: ir.CmpI{Op: ir.Lt, A: ir.ModI(v, ir.Int(int64(2+rng.Intn(5)))), B: ir.Int(1)},
+					Then: []ir.Stmt{ir.StoreF(a, []ir.IExpr{clampA(v)}, fexpr(v, 1))},
+					Else: []ir.Stmt{ir.SetF(s, ir.AddF(ir.FScalar{Slot: s.Slot, Name: s.Name}, ir.Flt(0.25)))},
+				})
+			}
+		}
+		lo := int64(rng.Intn(3))
+		hiVar := n
+		if rng.Intn(2) == 0 {
+			hiVar = m
+		}
+		step := int64(1 + rng.Intn(3))
+		body = append(body, ir.For(v, ir.Int(lo), hiVar, step, inner...))
+	}
+	p.Body = body
+
+	seedVals := func(file *stripefs.File, pageSize int64) {
+		exec.SeedF64(file, pageSize, a, func(i int64) float64 { return float64(i%101) / 7 })
+		exec.SeedF64(file, pageSize, bArr, func(i int64) float64 { return float64(i%53) / 3 })
+		exec.SeedI64(file, pageSize, idxArr, func(i int64) int64 { return (i * 31) % nA })
+	}
+	return p, seedVals
+}
+
+// runFuzz executes a program (optionally compiled) on a small out-of-core
+// machine and returns (scalar result, checksum of array a, checksum of b).
+func runFuzz(t *testing.T, prog *ir.Program, mp hw.Params, seed func(*stripefs.File, int64)) (float64, float64, float64) {
+	t.Helper()
+	c := sim.NewClock()
+	fs := stripefs.New(c, mp, nil)
+	if err := prog.Resolve(mp.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	pages := prog.TotalBytes(mp.PageSize) / mp.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	file, err := fs.Create(prog.Name, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(c, mp, file)
+	m, err := exec.New(prog, v, rt.Register(v, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(file, mp.PageSize)
+	env := m.Run()
+	v.Finish()
+
+	check := func(arr *ir.Array) float64 {
+		var sum float64
+		for i := int64(0); i < arr.Elems; i++ {
+			sum += v.PeekF64(arr.Base+i*ir.ElemSize) * float64(i%13+1)
+		}
+		return sum
+	}
+	return env.Floats[0], check(prog.Arrays[0]), check(prog.Arrays[1])
+}
+
+func TestCompilerPreservesSemanticsOnRandomPrograms(t *testing.T) {
+	iters := 60
+	if testing.Short() {
+		iters = 10
+	}
+	mp := hw.Default()
+	mp.MemoryBytes = 24 * mp.PageSize // aggressively small: heavy paging
+
+	for it := 0; it < iters; it++ {
+		rng := rand.New(rand.NewSource(int64(1000 + it)))
+		prog, seed := genProgram(rng)
+		if err := prog.Resolve(mp.PageSize); err != nil {
+			t.Fatal(err)
+		}
+
+		opts := DefaultOptions()
+		if it%3 == 1 {
+			opts.PagesPerFetch = 1 + int64(rng.Intn(8))
+		}
+		if it%4 == 2 {
+			opts.TwoVersionLoops = true
+		}
+		res, err := Compile(prog, mp, opts)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", it, err)
+		}
+
+		// The transformed program must contain the original computation
+		// verbatim plus hints and strip loops; run both out of core.
+		rng2 := rand.New(rand.NewSource(int64(1000 + it)))
+		orig, seedO := genProgram(rng2)
+		sO, aO, bO := runFuzz(t, orig, mp, seedO)
+		sP, aP, bP := runFuzz(t, res.Prog, mp, seed)
+		if sO != sP || aO != aP || bO != bP {
+			t.Fatalf("seed %d: results diverge:\n  scalar %v vs %v\n  a %v vs %v\n  b %v vs %v\nprogram:\n%s\ncompiled:\n%s",
+				it, sO, sP, aO, aP, bO, bP, ir.Print(orig), ir.Print(res.Prog))
+		}
+	}
+}

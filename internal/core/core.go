@@ -1,0 +1,210 @@
+// Package core assembles the complete system of the paper: the
+// prefetching compiler, the striped multi-disk file system, the paged
+// virtual memory with non-binding prefetch/release hints, the user-level
+// run-time filtering layer, and the executor. One call runs a program in
+// any of the paper's configurations — original paged VM (the "O" bars),
+// compiler-inserted prefetching (the "P" bars), prefetching without the
+// run-time layer (Figure 4(c)), warm- or cold-started (Figure 6) — and
+// returns every statistic the evaluation section reports.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/disk"
+	"repro/internal/exec"
+	"repro/internal/hw"
+	"repro/internal/ir"
+	"repro/internal/rt"
+	"repro/internal/sim"
+	"repro/internal/stripefs"
+	"repro/internal/vm"
+)
+
+// Config selects a run configuration.
+type Config struct {
+	// Machine is the simulated platform. Use hw.Default() or size memory
+	// with MachineFor.
+	Machine hw.Params
+
+	// Prefetch compiles the program with the prefetching pass (the "P"
+	// configuration); false runs the original program on plain paged
+	// virtual memory (the "O" configuration).
+	Prefetch bool
+
+	// Options are the compiler options; nil means
+	// compiler.DefaultOptions().
+	Options *compiler.Options
+
+	// RuntimeFilter enables the user-level run-time layer. Disabling it
+	// with Prefetch on reproduces Figure 4(c). It is forced on for
+	// non-prefetching runs (it is never consulted).
+	RuntimeFilter bool
+
+	// WarmStart preloads the data set into memory (up to the pageout
+	// daemon's high watermark) before the timed region, as in the
+	// warm-started bars of Figure 6.
+	WarmStart bool
+
+	// Seed pre-initializes input files; nil if the program needs none.
+	Seed func(prog *ir.Program, file *stripefs.File, pageSize int64)
+
+	// Elevator selects SCAN disk scheduling instead of the default FCFS
+	// (the paper's disk scheduler treats prefetches like demand reads
+	// under FCFS; the elevator is available for ablations).
+	Elevator bool
+
+	// SamplePeriod, if positive, records a timeline of memory-manager
+	// state every period of simulated time (Result.Timeline).
+	SamplePeriod sim.Time
+}
+
+// DefaultConfig returns the standard prefetching configuration.
+func DefaultConfig(machine hw.Params) Config {
+	return Config{
+		Machine:       machine,
+		Prefetch:      true,
+		RuntimeFilter: true,
+	}
+}
+
+// MachineFor sizes the default platform so that dataBytes stands in the
+// given ratio to available memory (ratio 2 = data twice as large as
+// memory, the paper's standard out-of-core setting).
+func MachineFor(dataBytes int64, ratio float64) hw.Params {
+	p := hw.Default()
+	mem := int64(float64(dataBytes) / ratio)
+	// Round to whole pages with a sane floor.
+	mem = mem / p.PageSize * p.PageSize
+	if mem < 16*p.PageSize {
+		mem = 16 * p.PageSize
+	}
+	p.MemoryBytes = mem
+	return p
+}
+
+// Result carries everything the experiments report about one run.
+type Result struct {
+	Prog    *ir.Program // the program that actually executed
+	Plan    []compiler.PlanEntry
+	Env     *exec.Env
+	VM      *vm.VM
+	Elapsed sim.Time
+
+	Times   vm.TimeStats
+	Mem     vm.Stats
+	RT      rt.Stats
+	AvgFree float64
+
+	// Timeline holds periodic samples when Config.SamplePeriod was set.
+	Timeline []Sample
+
+	DiskStats []disk.Stats
+	DiskUtil  float64 // mean utilization across disks
+}
+
+// Speedup returns how much faster this run is than base:
+// base.Elapsed / r.Elapsed.
+func (r *Result) Speedup(base *Result) float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(base.Elapsed) / float64(r.Elapsed)
+}
+
+// Run executes one program under one configuration on a fresh simulated
+// system.
+func Run(prog *ir.Program, cfg Config) (*Result, error) {
+	machine := cfg.Machine
+	if machine.PageSize == 0 {
+		machine = hw.Default()
+	}
+	if err := machine.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Resolve(machine.PageSize); err != nil {
+		return nil, err
+	}
+
+	execProg := prog
+	var plan []compiler.PlanEntry
+	if cfg.Prefetch {
+		opts := compiler.DefaultOptions()
+		if cfg.Options != nil {
+			opts = *cfg.Options
+		}
+		res, err := compiler.Compile(prog, machine, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: compile %s: %w", prog.Name, err)
+		}
+		execProg = res.Prog
+		plan = res.Plan
+	}
+
+	clock := sim.NewClock()
+	var mkSched func() disk.Scheduler
+	if cfg.Elevator {
+		mkSched = func() disk.Scheduler { return &disk.Elevator{} }
+	}
+	fs := stripefs.New(clock, machine, mkSched)
+	pages := prog.TotalBytes(machine.PageSize) / machine.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	file, err := fs.Create(prog.Name, pages)
+	if err != nil {
+		return nil, err
+	}
+	v := vm.New(clock, machine, file)
+	layer := rt.Register(v, cfg.RuntimeFilter || !cfg.Prefetch)
+	m, err := exec.New(execProg, v, layer)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed != nil {
+		cfg.Seed(prog, file, machine.PageSize)
+	}
+	if cfg.WarmStart {
+		v.Preload(0, v.AllocatedPages())
+		v.ResetAccounting()
+	}
+
+	clock.DeadlockInfo = func() string {
+		out := ""
+		for i, d := range fs.Disks() {
+			out += fmt.Sprintf("disk %d: busy=%v queue=%d\n", i, d.Busy(), d.QueueLen())
+		}
+		return out
+	}
+	var smp *sampler
+	if cfg.SamplePeriod > 0 {
+		smp = startSampler(v, cfg.SamplePeriod)
+	}
+	start := clock.Now()
+	env := m.Run()
+	v.Finish()
+	elapsed := clock.Now() - start
+
+	r := &Result{
+		Prog:    execProg,
+		Plan:    plan,
+		Env:     env,
+		VM:      v,
+		Elapsed: elapsed,
+		Times:   v.Times(),
+		Mem:     v.Stats(),
+		RT:      layer.Stats(),
+		AvgFree: v.AvgFreeFrac(),
+	}
+	if smp != nil {
+		r.Timeline = smp.stop()
+	}
+	var util float64
+	for _, d := range fs.Disks() {
+		r.DiskStats = append(r.DiskStats, d.Stats())
+		util += d.Utilization(elapsed)
+	}
+	r.DiskUtil = util / float64(len(fs.Disks()))
+	return r, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Sample is one point of a run's timeline.
+type Sample struct {
+	At         sim.Time
+	FreeFrames int64
+	Faults     int64 // cumulative major faults
+	Prefetches int64 // cumulative prefetch pages issued
+}
+
+// sampler periodically records memory-manager state on the simulated
+// clock. Sampling happens in simulated time, so it costs the application
+// nothing and is fully deterministic.
+type sampler struct {
+	v       *vm.VM
+	period  sim.Time
+	samples []Sample
+	stopped bool
+}
+
+func startSampler(v *vm.VM, period sim.Time) *sampler {
+	s := &sampler{v: v, period: period}
+	s.arm()
+	return s
+}
+
+func (s *sampler) arm() {
+	s.v.Clock().Schedule(s.period, func() {
+		// The cap keeps a wedged run from sampling forever (the clock's
+		// deadlock detection relies on the event queue draining).
+		if s.stopped || len(s.samples) > 100000 {
+			return
+		}
+		s.record()
+		s.arm()
+	})
+}
+
+func (s *sampler) record() {
+	st := s.v.Stats()
+	s.samples = append(s.samples, Sample{
+		At:         s.v.Clock().Now(),
+		FreeFrames: s.v.FreeFrames(),
+		Faults:     st.MajorFaults,
+		Prefetches: st.PrefetchIssued,
+	})
+}
+
+func (s *sampler) stop() []Sample {
+	s.stopped = true
+	s.record()
+	return s.samples
+}
+
+// RenderTimeline draws an ASCII chart of free memory over the run, with
+// fault activity per interval underneath — a quick visual of how the
+// pageout daemon, releases, and prefetch streams interact.
+func RenderTimeline(samples []Sample, totalFrames int64, width int) string {
+	if len(samples) == 0 || totalFrames <= 0 {
+		return "(no samples)\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	// Downsample to width columns.
+	cols := make([]Sample, 0, width)
+	for i := 0; i < width; i++ {
+		idx := i * len(samples) / width
+		cols = append(cols, samples[idx])
+	}
+	const rows = 8
+	var b strings.Builder
+	b.WriteString("free memory over time (each column = ")
+	b.WriteString((samples[len(samples)-1].At / sim.Time(width)).String())
+	b.WriteString("):\n")
+	for r := rows; r >= 1; r-- {
+		thresh := float64(r) / float64(rows)
+		if r == rows {
+			fmt.Fprintf(&b, "%4d |", totalFrames)
+		} else if r == 1 {
+			b.WriteString("   0 |")
+		} else {
+			b.WriteString("     |")
+		}
+		for _, s := range cols {
+			frac := float64(s.FreeFrames) / float64(totalFrames)
+			if frac >= thresh-0.5/float64(rows) {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("     +")
+	b.WriteString(strings.Repeat("-", len(cols)))
+	b.WriteString("\nfaults per interval:\n      ")
+	var maxD int64 = 1
+	prev := int64(0)
+	deltas := make([]int64, len(cols))
+	for i, s := range cols {
+		deltas[i] = s.Faults - prev
+		prev = s.Faults
+		if deltas[i] > maxD {
+			maxD = deltas[i]
+		}
+	}
+	marks := []byte(" .:-=+*#")
+	for _, d := range deltas {
+		lvl := int(int64(len(marks)-1) * d / maxD)
+		b.WriteByte(marks[lvl])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,227 @@
+// Package disk models the disks of the experimental platform: a simple
+// but faithful positional service-time model (distance-dependent seek,
+// half-rotation latency, per-page media transfer), per-disk request
+// queues, and pluggable scheduling. As in the paper, the disk scheduler
+// treats prefetch reads exactly like demand (fault) reads.
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Kind classifies disk requests for the Figure 5 breakdown.
+type Kind int
+
+const (
+	// FaultRead is a demand read triggered by a page fault.
+	FaultRead Kind = iota
+	// PrefetchRead is an asynchronous read issued for a prefetch hint.
+	PrefetchRead
+	// Write is a dirty-page write-back.
+	Write
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FaultRead:
+		return "fault-read"
+	case PrefetchRead:
+		return "prefetch-read"
+	case Write:
+		return "write"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Request is one I/O operation against a single disk. Block addresses are
+// disk-local page numbers; Pages contiguous pages are transferred in one
+// media pass. Done, if non-nil, runs at completion time.
+type Request struct {
+	Block int64
+	Pages int64
+	Kind  Kind
+	Done  func()
+}
+
+// Stats accumulates per-disk activity.
+type Stats struct {
+	Requests [numKinds]int64 // request count by kind
+	Pages    [numKinds]int64 // pages moved by kind
+	BusyTime sim.Time        // total time the arm/media was busy
+}
+
+// RequestsTotal returns the total request count across kinds.
+func (s Stats) RequestsTotal() int64 {
+	var n int64
+	for _, v := range s.Requests {
+		n += v
+	}
+	return n
+}
+
+// A Scheduler picks the next request to service from a non-empty queue
+// given the current head (cylinder) position. It returns the index of the
+// chosen request.
+type Scheduler interface {
+	Next(queue []Request, headCyl int64, p hw.Params) int
+	Name() string
+}
+
+// FCFS services requests strictly in arrival order.
+type FCFS struct{}
+
+// Next implements Scheduler.
+func (FCFS) Next(queue []Request, headCyl int64, p hw.Params) int { return 0 }
+
+// Name implements Scheduler.
+func (FCFS) Name() string { return "fcfs" }
+
+// Elevator is a shortest-seek-in-direction (SCAN) scheduler: it services
+// the nearest request at or beyond the head in the sweep direction and
+// reverses when nothing remains ahead.
+type Elevator struct {
+	up bool // current sweep direction; zero value sweeps down first
+}
+
+// Next implements Scheduler.
+func (e *Elevator) Next(queue []Request, headCyl int64, p hw.Params) int {
+	best := -1
+	var bestDist int64
+	pick := func(dir bool) int {
+		idx, dist := -1, int64(-1)
+		for i, r := range queue {
+			cyl := r.Block / p.PagesPerCyl
+			d := cyl - headCyl
+			if !dir {
+				d = -d
+			}
+			if d < 0 {
+				continue
+			}
+			if idx < 0 || d < dist {
+				idx, dist = i, d
+			}
+		}
+		bestDist = dist
+		return idx
+	}
+	best = pick(e.up)
+	if best < 0 {
+		e.up = !e.up
+		best = pick(e.up)
+	}
+	_ = bestDist
+	if best < 0 {
+		best = 0 // unreachable for a non-empty queue, but stay safe
+	}
+	return best
+}
+
+// Name implements Scheduler.
+func (e *Elevator) Name() string { return "elevator" }
+
+// Disk is one simulated disk: a serial server with a queue.
+type Disk struct {
+	clock *sim.Clock
+	p     hw.Params
+	id    int
+	sched Scheduler
+
+	headCyl int64
+	busy    bool
+	queue   []Request
+	stats   Stats
+	depthHi int // high-water queue depth, for diagnostics
+}
+
+// New returns an idle disk. If sched is nil, FCFS is used.
+func New(clock *sim.Clock, p hw.Params, id int, sched Scheduler) *Disk {
+	if sched == nil {
+		sched = FCFS{}
+	}
+	return &Disk{clock: clock, p: p, id: id, sched: sched}
+}
+
+// ID returns the disk's index within its array.
+func (d *Disk) ID() int { return d.id }
+
+// Stats returns a snapshot of the disk's accumulated statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// QueueLen returns the number of requests waiting (not counting the one in
+// service).
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Busy reports whether a request is currently being serviced.
+func (d *Disk) Busy() bool { return d.busy }
+
+// Submit enqueues a request. Completion is signalled by r.Done on the
+// simulated clock.
+func (d *Disk) Submit(r Request) {
+	if r.Pages <= 0 {
+		panic(fmt.Sprintf("disk %d: request for %d pages", d.id, r.Pages))
+	}
+	d.queue = append(d.queue, r)
+	if len(d.queue) > d.depthHi {
+		d.depthHi = len(d.queue)
+	}
+	if !d.busy {
+		d.startNext()
+	}
+}
+
+// ServiceTime returns the positional service time for a request starting
+// with the head at fromCyl: seek proportional to distance, half a rotation
+// of latency, and the media transfer.
+func (d *Disk) ServiceTime(fromCyl int64, r Request) sim.Time {
+	cyl := r.Block / d.p.PagesPerCyl
+	dist := cyl - fromCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	var seek sim.Time
+	if dist > 0 {
+		span := d.p.SeekMax - d.p.SeekMin
+		seek = d.p.SeekMin + sim.Time(int64(span)*dist/d.p.DiskCylinders)
+	}
+	rot := d.p.RotationTime / 2
+	xfer := sim.Time(int64(d.p.TransferPerPage) * r.Pages)
+	return seek + rot + xfer
+}
+
+func (d *Disk) startNext() {
+	if len(d.queue) == 0 {
+		d.busy = false
+		return
+	}
+	i := d.sched.Next(d.queue, d.headCyl, d.p)
+	r := d.queue[i]
+	d.queue = append(d.queue[:i], d.queue[i+1:]...)
+	d.busy = true
+
+	t := d.ServiceTime(d.headCyl, r)
+	d.headCyl = (r.Block + r.Pages - 1) / d.p.PagesPerCyl
+	d.stats.BusyTime += t
+	d.stats.Requests[r.Kind]++
+	d.stats.Pages[r.Kind] += r.Pages
+
+	d.clock.Schedule(t, func() {
+		if r.Done != nil {
+			r.Done()
+		}
+		d.startNext()
+	})
+}
+
+// Utilization returns the fraction of the elapsed simulated time this disk
+// was busy.
+func (d *Disk) Utilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(d.stats.BusyTime) / float64(elapsed)
+}

@@ -1,0 +1,109 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestScaledValid(t *testing.T) {
+	for _, mb := range []int64{1, 4, 8, 48, 256} {
+		p := Scaled(mb << 20)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Scaled(%d MB) invalid: %v", mb, err)
+		}
+		if p.MemoryBytes != mb<<20 {
+			t.Fatalf("Scaled(%d MB) has memory %d", mb, p.MemoryBytes)
+		}
+	}
+}
+
+func TestFrames(t *testing.T) {
+	p := Scaled(8 << 20)
+	if got := p.Frames(); got != 2048 {
+		t.Fatalf("8 MB / 4 KB = %d frames, want 2048", got)
+	}
+}
+
+func TestWatermarks(t *testing.T) {
+	p := Scaled(8 << 20)
+	lo, hi := p.LowWater(), p.HighWater()
+	if lo < 4 {
+		t.Fatalf("low water %d below floor", lo)
+	}
+	if hi <= lo {
+		t.Fatalf("high water %d not above low water %d", hi, lo)
+	}
+	if hi >= p.Frames() {
+		t.Fatalf("high water %d not below total frames %d", hi, p.Frames())
+	}
+}
+
+func TestWatermarksTinyMemory(t *testing.T) {
+	p := Scaled(8 * 4096) // 8 frames, the minimum
+	if err := p.Validate(); err != nil {
+		t.Fatalf("8-frame config invalid: %v", err)
+	}
+	if p.HighWater() <= p.LowWater() {
+		t.Fatalf("watermarks collapsed: lo=%d hi=%d", p.LowWater(), p.HighWater())
+	}
+}
+
+func TestAvgPageReadPlausible(t *testing.T) {
+	rt := Default().AvgPageRead()
+	if rt < 5*sim.Millisecond || rt > 50*sim.Millisecond {
+		t.Fatalf("average page read %v outside plausible 1996 disk range", rt)
+	}
+}
+
+func TestFilterCheckMuchCheaperThanSyscall(t *testing.T) {
+	p := Default()
+	ratio := float64(p.FilterCheckTime) / float64(p.PrefetchSyscallTime)
+	// The paper: dropping in the run-time layer is "roughly 1% as
+	// expensive as issuing it to the OS".
+	if ratio < 0.002 || ratio > 0.05 {
+		t.Fatalf("filter/syscall cost ratio %.4f not ~1%%", ratio)
+	}
+}
+
+func TestPagesOf(t *testing.T) {
+	p := Default()
+	cases := []struct{ bytes, want int64 }{
+		{0, 0}, {1, 1}, {4095, 1}, {4096, 1}, {4097, 2}, {8192, 2},
+	}
+	for _, c := range cases {
+		if got := p.PagesOf(c.bytes); got != c.want {
+			t.Errorf("PagesOf(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mut := []func(*Params){
+		func(p *Params) { p.PageSize = 3000 },
+		func(p *Params) { p.PageSize = 0 },
+		func(p *Params) { p.MemoryBytes = 4096 },
+		func(p *Params) { p.NumDisks = 0 },
+		func(p *Params) { p.SeekMax = p.SeekMin - 1 },
+		func(p *Params) { p.RotationTime = 0 },
+		func(p *Params) { p.TransferPerPage = 0 },
+		func(p *Params) { p.DiskCylinders = 0 },
+		func(p *Params) { p.FaultServiceTime = 0 },
+		func(p *Params) { p.FilterCheckTime = p.PrefetchSyscallTime },
+		func(p *Params) { p.OpTime = 0 },
+		func(p *Params) { p.HighWaterFrac = p.LowWaterFrac },
+	}
+	for i, m := range mut {
+		p := Default()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate accepted an invalid config", i)
+		}
+	}
+}

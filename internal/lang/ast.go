@@ -1,0 +1,106 @@
+package lang
+
+// Untyped syntax tree. Semantic analysis types it against declared
+// symbols and lowers it to IR.
+
+type expr interface{ pos() (int, int) }
+
+type numLit struct {
+	line, col int
+	isFloat   bool
+	i         int64
+	f         float64
+}
+
+type identExpr struct {
+	line, col int
+	name      string
+}
+
+type indexExpr struct {
+	line, col int
+	name      string
+	idx       []expr
+}
+
+type callExpr struct {
+	line, col int
+	name      string
+	args      []expr
+}
+
+type binExpr struct {
+	line, col int
+	op        string
+	a, b      expr
+}
+
+type unExpr struct {
+	line, col int
+	op        string
+	x         expr
+}
+
+func (e numLit) pos() (int, int)    { return e.line, e.col }
+func (e identExpr) pos() (int, int) { return e.line, e.col }
+func (e indexExpr) pos() (int, int) { return e.line, e.col }
+func (e callExpr) pos() (int, int)  { return e.line, e.col }
+func (e binExpr) pos() (int, int)   { return e.line, e.col }
+func (e unExpr) pos() (int, int)    { return e.line, e.col }
+
+type stmt interface{ stmtPos() (int, int) }
+
+type forStmt struct {
+	line, col int
+	v         string
+	lo, hi    expr
+	step      int64
+	body      []stmt
+}
+
+type ifStmt struct {
+	line, col int
+	cond      expr
+	then, els []stmt
+}
+
+type assignStmt struct {
+	line, col int
+	name      string
+	idx       []expr // nil for scalar assignment
+	rhs       expr
+}
+
+func (s forStmt) stmtPos() (int, int)    { return s.line, s.col }
+func (s ifStmt) stmtPos() (int, int)     { return s.line, s.col }
+func (s assignStmt) stmtPos() (int, int) { return s.line, s.col }
+
+type arrayDecl struct {
+	line, col int
+	isFloat   bool
+	name      string
+	dims      []expr
+}
+
+type scalarDecl struct {
+	line, col int
+	isFloat   bool
+	name      string
+}
+
+type paramDecl struct {
+	line, col int
+	name      string
+	val       expr
+	unknown   bool
+}
+
+type file struct {
+	name    string
+	params  []paramDecl
+	arrays  []arrayDecl
+	scalars []scalarDecl
+	seed    int64
+	hasSeed bool
+	body    []stmt
+}

@@ -1,0 +1,345 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+var intrinsics = map[string]ir.Intrinsic{
+	"sqrt":   ir.Sqrt,
+	"fabs":   ir.Abs,
+	"log":    ir.Log,
+	"exp":    ir.Exp,
+	"sin":    ir.Sin,
+	"cos":    ir.Cos,
+	"pow":    ir.Pow,
+	"randlc": ir.Randlc,
+}
+
+var iBinOps = map[string]ir.IBinOp{
+	"+": ir.IAdd, "-": ir.ISub, "*": ir.IMul, "/": ir.IDiv, "%": ir.IMod,
+	"<<": ir.IShl, ">>": ir.IShr,
+}
+
+var fBinOps = map[string]ir.FBinOp{
+	"+": ir.FAdd, "-": ir.FSub, "*": ir.FMul, "/": ir.FDiv,
+}
+
+var cmpOps = map[string]ir.CmpOp{
+	"<": ir.Lt, "<=": ir.Le, ">": ir.Gt, ">=": ir.Ge, "==": ir.Eq, "!=": ir.Ne,
+}
+
+// isFloatExpr decides whether an expression is float-typed: a float
+// literal, a float scalar/array, a math intrinsic, or any operator over a
+// float operand.
+func (s *sema) isFloatExpr(e expr) bool {
+	switch x := e.(type) {
+	case numLit:
+		return x.isFloat
+	case identExpr:
+		_, ok := s.scalarF[x.name]
+		return ok
+	case indexExpr:
+		if a, ok := s.arrays[x.name]; ok {
+			return a.Kind == ir.F64
+		}
+		return false
+	case callExpr:
+		if x.name == "int" {
+			return false
+		}
+		if x.name == "min" || x.name == "max" {
+			for _, a := range x.args {
+				if s.isFloatExpr(a) {
+					return true
+				}
+			}
+			return false
+		}
+		// All intrinsics (and float()) produce floats.
+		return true
+	case binExpr:
+		return s.isFloatExpr(x.a) || s.isFloatExpr(x.b)
+	case unExpr:
+		return s.isFloatExpr(x.x)
+	}
+	return false
+}
+
+// intExpr lowers an expression in integer context.
+func (s *sema) intExpr(e expr) (ir.IExpr, error) {
+	switch x := e.(type) {
+	case numLit:
+		if x.isFloat {
+			return nil, errAt(x, "float literal in integer context")
+		}
+		return ir.Int(x.i), nil
+	case identExpr:
+		if slot, ok := s.lookupLoop(x.name); ok {
+			return slot, nil
+		}
+		if slot, ok := s.paramsI[x.name]; ok {
+			return slot, nil
+		}
+		if slot, ok := s.scalarI[x.name]; ok {
+			return slot, nil
+		}
+		if _, ok := s.scalarF[x.name]; ok {
+			return nil, errAt(x, "float scalar %q in integer context", x.name)
+		}
+		return nil, errAt(x, "undeclared identifier %q", x.name)
+	case indexExpr:
+		arr, idx, err := s.subscripts(x)
+		if err != nil {
+			return nil, err
+		}
+		if arr.Kind != ir.I64 {
+			return nil, errAt(x, "double array %q in integer context", x.name)
+		}
+		return ir.ILoad{Arr: arr, Idx: idx}, nil
+	case callExpr:
+		if x.name == "int" {
+			if len(x.args) != 1 {
+				return nil, errAt(x, "int() takes 1 argument")
+			}
+			fe, err := s.floatExpr(x.args[0])
+			if err != nil {
+				return nil, err
+			}
+			return ir.IFromF{X: fe}, nil
+		}
+		if x.name == "min" || x.name == "max" {
+			if len(x.args) != 2 {
+				return nil, errAt(x, "%s takes 2 arguments", x.name)
+			}
+			a, err := s.intExpr(x.args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := s.intExpr(x.args[1])
+			if err != nil {
+				return nil, err
+			}
+			if x.name == "min" {
+				return ir.MinI(a, b), nil
+			}
+			return ir.MaxI(a, b), nil
+		}
+		return nil, errAt(x, "call %s() in integer context", x.name)
+	case binExpr:
+		if _, ok := cmpOps[x.op]; ok || x.op == "&&" || x.op == "||" {
+			return nil, errAt(x, "boolean expression in integer context")
+		}
+		op, ok := iBinOps[x.op]
+		if !ok {
+			return nil, errAt(x, "operator %q not valid on integers", x.op)
+		}
+		a, err := s.intExpr(x.a)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.intExpr(x.b)
+		if err != nil {
+			return nil, err
+		}
+		return ir.IBin{Op: op, A: a, B: b}, nil
+	case unExpr:
+		if x.op != "-" {
+			return nil, errAt(x, "operator %q in integer context", x.op)
+		}
+		v, err := s.intExpr(x.x)
+		if err != nil {
+			return nil, err
+		}
+		return ir.SubI(ir.Int(0), v), nil
+	}
+	return nil, fmt.Errorf("lang: unknown expression %T", e)
+}
+
+// floatExpr lowers an expression in float context; integer subexpressions
+// are converted.
+func (s *sema) floatExpr(e expr) (ir.FExpr, error) {
+	if !s.isFloatExpr(e) {
+		ie, err := s.intExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		return ir.FromInt{X: ie}, nil
+	}
+	switch x := e.(type) {
+	case numLit:
+		return ir.Flt(x.f), nil
+	case identExpr:
+		if fs, ok := s.scalarF[x.name]; ok {
+			return fs, nil
+		}
+		return nil, errAt(x, "identifier %q is not a float scalar", x.name)
+	case indexExpr:
+		arr, idx, err := s.subscripts(x)
+		if err != nil {
+			return nil, err
+		}
+		if arr.Kind != ir.F64 {
+			return nil, errAt(x, "long array %q in float context", x.name)
+		}
+		return ir.FLoad{Arr: arr, Idx: idx}, nil
+	case callExpr:
+		switch x.name {
+		case "float":
+			if len(x.args) != 1 {
+				return nil, errAt(x, "float() takes 1 argument")
+			}
+			ie, err := s.intExpr(x.args[0])
+			if err != nil {
+				return nil, err
+			}
+			return ir.FromInt{X: ie}, nil
+		case "min", "max", "fmin", "fmax":
+			if len(x.args) != 2 {
+				return nil, errAt(x, "%s takes 2 arguments", x.name)
+			}
+			a, err := s.floatExpr(x.args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := s.floatExpr(x.args[1])
+			if err != nil {
+				return nil, err
+			}
+			op := ir.FMinOp
+			if x.name == "max" || x.name == "fmax" {
+				op = ir.FMaxOp
+			}
+			return ir.FBin{Op: op, A: a, B: b}, nil
+		}
+		fn, ok := intrinsics[x.name]
+		if !ok {
+			return nil, errAt(x, "unknown function %q", x.name)
+		}
+		want := 1
+		if fn == ir.Pow {
+			want = 2
+		}
+		if fn == ir.Randlc {
+			want = 0
+		}
+		if len(x.args) != want {
+			return nil, errAt(x, "%s takes %d argument(s), got %d", x.name, want, len(x.args))
+		}
+		args := make([]ir.FExpr, len(x.args))
+		for i, a := range x.args {
+			fa, err := s.floatExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = fa
+		}
+		return ir.FCall{Fn: fn, Args: args}, nil
+	case binExpr:
+		op, ok := fBinOps[x.op]
+		if !ok {
+			return nil, errAt(x, "operator %q not valid on floats", x.op)
+		}
+		a, err := s.floatExpr(x.a)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.floatExpr(x.b)
+		if err != nil {
+			return nil, err
+		}
+		return ir.FBin{Op: op, A: a, B: b}, nil
+	case unExpr:
+		if x.op != "-" {
+			return nil, errAt(x, "operator %q in float context", x.op)
+		}
+		v, err := s.floatExpr(x.x)
+		if err != nil {
+			return nil, err
+		}
+		return ir.FNeg{X: v}, nil
+	}
+	return nil, fmt.Errorf("lang: unknown expression %T", e)
+}
+
+func (s *sema) boolExpr(e expr) (ir.BExpr, error) {
+	switch x := e.(type) {
+	case binExpr:
+		switch x.op {
+		case "&&":
+			a, err := s.boolExpr(x.a)
+			if err != nil {
+				return nil, err
+			}
+			b, err := s.boolExpr(x.b)
+			if err != nil {
+				return nil, err
+			}
+			return ir.And{A: a, B: b}, nil
+		case "||":
+			a, err := s.boolExpr(x.a)
+			if err != nil {
+				return nil, err
+			}
+			b, err := s.boolExpr(x.b)
+			if err != nil {
+				return nil, err
+			}
+			return ir.Or{A: a, B: b}, nil
+		}
+		op, ok := cmpOps[x.op]
+		if !ok {
+			return nil, errAt(x, "expected comparison, found %q", x.op)
+		}
+		if s.isFloatExpr(x.a) || s.isFloatExpr(x.b) {
+			a, err := s.floatExpr(x.a)
+			if err != nil {
+				return nil, err
+			}
+			b, err := s.floatExpr(x.b)
+			if err != nil {
+				return nil, err
+			}
+			return ir.CmpF{Op: op, A: a, B: b}, nil
+		}
+		a, err := s.intExpr(x.a)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.intExpr(x.b)
+		if err != nil {
+			return nil, err
+		}
+		return ir.CmpI{Op: op, A: a, B: b}, nil
+	case unExpr:
+		if x.op == "!" {
+			b, err := s.boolExpr(x.x)
+			if err != nil {
+				return nil, err
+			}
+			return ir.Not{X: b}, nil
+		}
+	}
+	return nil, errAt(e, "expected boolean expression")
+}
+
+func (s *sema) subscripts(x indexExpr) (*ir.Array, []ir.IExpr, error) {
+	arr, ok := s.arrays[x.name]
+	if !ok {
+		return nil, nil, errAt(x, "undeclared array %q", x.name)
+	}
+	if len(x.idx) != len(arr.DimExprs) {
+		return nil, nil, errAt(x, "array %s has %d dimensions, got %d subscripts",
+			x.name, len(arr.DimExprs), len(x.idx))
+	}
+	idx := make([]ir.IExpr, len(x.idx))
+	for i, d := range x.idx {
+		ie, err := s.intExpr(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx[i] = ie
+	}
+	return arr, idx, nil
+}

@@ -1,0 +1,361 @@
+package lang
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) errorf(t token, format string, args ...interface{}) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind == tPunct && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.cur().kind == tIdent && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if p.accept(text) {
+		return nil
+	}
+	return p.errorf(p.cur(), "expected %q, found %s", text, p.cur())
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return t, p.errorf(t, "expected identifier, found %s", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func parse(src string) (*file, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &file{}
+
+	if !p.acceptKw("program") {
+		return nil, p.errorf(p.cur(), "file must start with 'program <name>'")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	f.name = name.text
+
+	// Declarations.
+	for {
+		t := p.cur()
+		switch {
+		case p.acceptKw("param"):
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			unknown := p.acceptKw("unknown")
+			f.params = append(f.params, paramDecl{line: t.line, col: t.col, name: id.text, val: val, unknown: unknown})
+		case p.acceptKw("array"):
+			isFloat, err := p.parseElemKind()
+			if err != nil {
+				return nil, err
+			}
+			for {
+				id, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				var dims []expr
+				for p.accept("[") {
+					d, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					if err := p.expect("]"); err != nil {
+						return nil, err
+					}
+					dims = append(dims, d)
+				}
+				if len(dims) == 0 {
+					return nil, p.errorf(id, "array %s needs at least one dimension", id.text)
+				}
+				f.arrays = append(f.arrays, arrayDecl{line: id.line, col: id.col, isFloat: isFloat, name: id.text, dims: dims})
+				if !p.accept(",") {
+					break
+				}
+			}
+		case p.acceptKw("scalar"):
+			isFloat, err := p.parseElemKind()
+			if err != nil {
+				return nil, err
+			}
+			for {
+				id, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				f.scalars = append(f.scalars, scalarDecl{line: id.line, col: id.col, isFloat: isFloat, name: id.text})
+				if !p.accept(",") {
+					break
+				}
+			}
+		case p.acceptKw("seed"):
+			if p.cur().kind != tInt {
+				return nil, p.errorf(p.cur(), "seed needs an integer literal")
+			}
+			f.seed = p.cur().ival
+			f.hasSeed = true
+			p.pos++
+		default:
+			goto body
+		}
+	}
+
+body:
+	for p.cur().kind != tEOF {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.body = append(f.body, s)
+	}
+	return f, nil
+}
+
+func (p *parser) parseElemKind() (bool, error) {
+	switch {
+	case p.acceptKw("double"):
+		return true, nil
+	case p.acceptKw("long"):
+		return false, nil
+	}
+	return false, p.errorf(p.cur(), "expected 'double' or 'long'")
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.accept("}") {
+		if p.cur().kind == tEOF {
+			return nil, p.errorf(p.cur(), "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.cur()
+	switch {
+	case p.acceptKw("for"):
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		step := int64(1)
+		if p.acceptKw("step") {
+			if p.cur().kind != tInt {
+				return nil, p.errorf(p.cur(), "step needs an integer literal")
+			}
+			step = p.cur().ival
+			p.pos++
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return forStmt{line: t.line, col: t.col, v: v.text, lo: lo, hi: hi, step: step, body: body}, nil
+
+	case p.acceptKw("if"):
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []stmt
+		if p.acceptKw("else") {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ifStmt{line: t.line, col: t.col, cond: cond, then: then, els: els}, nil
+
+	case t.kind == tIdent:
+		id, _ := p.expectIdent()
+		var idx []expr
+		for p.accept("[") {
+			d, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			idx = append(idx, d)
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return assignStmt{line: t.line, col: t.col, name: id.text, idx: idx, rhs: rhs}, nil
+	}
+	return nil, p.errorf(t, "expected statement, found %s", t)
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5, "%": 5, "<<": 5, ">>": 5,
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = binExpr{line: t.line, col: t.col, op: t.text, a: lhs, b: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.cur()
+	if t.kind == tPunct && (t.text == "-" || t.text == "!") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unExpr{line: t.line, col: t.col, op: t.text, x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tInt:
+		p.pos++
+		return numLit{line: t.line, col: t.col, i: t.ival}, nil
+	case t.kind == tFloat:
+		p.pos++
+		return numLit{line: t.line, col: t.col, isFloat: true, f: t.fval}, nil
+	case t.kind == tPunct && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.kind == tIdent:
+		p.pos++
+		// Call?
+		if p.accept("(") {
+			var args []expr
+			if !p.accept(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(")") {
+						break
+					}
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return callExpr{line: t.line, col: t.col, name: t.text, args: args}, nil
+		}
+		// Subscripts?
+		var idx []expr
+		for p.accept("[") {
+			d, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			idx = append(idx, d)
+		}
+		if len(idx) > 0 {
+			return indexExpr{line: t.line, col: t.col, name: t.text, idx: idx}, nil
+		}
+		return identExpr{line: t.line, col: t.col, name: t.text}, nil
+	}
+	return nil, p.errorf(t, "expected expression, found %s", t)
+}

@@ -1,0 +1,270 @@
+package locality
+
+import "repro/internal/ir"
+
+// affineForm is the result of decomposing one integer expression:
+// sum(coeffs[slot]·slot) + konst, plus flags for what could not be
+// captured.
+type affineForm struct {
+	coeffs        map[int]int64
+	konst         int64
+	indirect      bool         // contains an array load
+	residual      bool         // contains non-affine terms
+	indirectSlots map[int]bool // loop slots driving indirect loads
+}
+
+func newForm() affineForm {
+	return affineForm{coeffs: map[int]int64{}}
+}
+
+func (f *affineForm) absorbFlags(g affineForm) {
+	f.indirect = f.indirect || g.indirect
+	f.residual = f.residual || g.residual
+	if len(g.indirectSlots) > 0 {
+		if f.indirectSlots == nil {
+			f.indirectSlots = map[int]bool{}
+		}
+		for s := range g.indirectSlots {
+			f.indirectSlots[s] = true
+		}
+	}
+}
+
+// decompose linearizes a reference's subscripts against the array's
+// resolved strides and records the affine form on the ref. Strides along
+// dimensions whose extent was not compile-time-known make the affected
+// terms residual, exactly as a real compiler loses information when a
+// matrix's leading dimensions are symbolic.
+func (a *Analysis) decompose(r *Ref) {
+	loopSlots := map[int]bool{}
+	for _, l := range r.Path {
+		loopSlots[l.Slot] = true
+	}
+
+	// Which strides does the compiler actually know? The innermost
+	// dimension's stride is always 1; outer strides require the inner
+	// extents to be known.
+	knownStride := make([]bool, len(r.Arr.Strides))
+	prod := true
+	for d := len(r.Arr.DimExprs) - 1; d >= 0; d-- {
+		knownStride[d] = prod
+		if _, ok := ir.ConstEval(r.Arr.DimExprs[d], a.Known); !ok {
+			prod = false
+		}
+	}
+
+	total := newForm()
+	for d, ix := range r.Idx {
+		f := a.affine(ix, loopSlots)
+		total.absorbFlags(f)
+		if !knownStride[d] {
+			// The compiler cannot scale this dimension's contribution;
+			// treat any variation in it as residual.
+			if len(f.coeffs) > 0 || f.konst != 0 {
+				total.residual = true
+			}
+			continue
+		}
+		stride := r.Arr.Strides[d]
+		for s, c := range f.coeffs {
+			total.coeffs[s] += c * stride
+		}
+		total.konst += f.konst * stride
+	}
+	for s, c := range total.coeffs {
+		if c != 0 {
+			r.Coeffs[s] = c
+		}
+	}
+	r.Const = total.konst
+	for s := range total.indirectSlots {
+		r.IndirectSlots[s] = true
+	}
+	switch {
+	case total.indirect:
+		r.Kind = Indirect
+	case total.residual:
+		r.Kind = Opaque
+	default:
+		r.Kind = Dense
+	}
+}
+
+// affine decomposes one subscript expression over the given loop slots.
+func (a *Analysis) affine(e ir.IExpr, loopSlots map[int]bool) affineForm {
+	// A fully known expression is a constant, whatever its shape.
+	if v, ok := ir.ConstEval(e, a.Known); ok {
+		f := newForm()
+		f.konst = v
+		return f
+	}
+	switch x := e.(type) {
+	case ir.ISlot:
+		f := newForm()
+		if loopSlots[x.Slot] {
+			f.coeffs[x.Slot] = 1
+			return f
+		}
+		// Unknown parameter or mutable scalar: not analyzable.
+		f.residual = true
+		return f
+	case ir.ILoad:
+		f := newForm()
+		f.indirect = true
+		f.indirectSlots = map[int]bool{}
+		for _, ix := range x.Idx {
+			inner := a.affine(ix, loopSlots)
+			for s := range inner.coeffs {
+				f.indirectSlots[s] = true
+			}
+			for s := range inner.indirectSlots {
+				f.indirectSlots[s] = true
+			}
+		}
+		return f
+	case ir.IBin:
+		switch x.Op {
+		case ir.IAdd, ir.ISub:
+			fa := a.affine(x.A, loopSlots)
+			fb := a.affine(x.B, loopSlots)
+			out := newForm()
+			out.absorbFlags(fa)
+			out.absorbFlags(fb)
+			for s, c := range fa.coeffs {
+				out.coeffs[s] += c
+			}
+			sign := int64(1)
+			if x.Op == ir.ISub {
+				sign = -1
+			}
+			for s, c := range fb.coeffs {
+				out.coeffs[s] += sign * c
+			}
+			out.konst = fa.konst + sign*fb.konst
+			return out
+		case ir.IMul:
+			// Affine only if one side is a known constant.
+			if v, ok := ir.ConstEval(x.A, a.Known); ok {
+				return a.affine(x.B, loopSlots).scaled(v)
+			}
+			if v, ok := ir.ConstEval(x.B, a.Known); ok {
+				return a.affine(x.A, loopSlots).scaled(v)
+			}
+		case ir.IShl:
+			if v, ok := ir.ConstEval(x.B, a.Known); ok && v >= 0 && v < 62 {
+				return a.affine(x.A, loopSlots).scaled(int64(1) << uint(v))
+			}
+		}
+	}
+	// Division, modulo, variable shifts, products of variables: residual.
+	f := newForm()
+	f.residual = true
+	collectIndirectSlots(e, &f, loopSlots)
+	return f
+}
+
+// collectIndirectSlots records indirect loads (and their driving loops)
+// buried inside otherwise non-affine expressions.
+func collectIndirectSlots(e ir.IExpr, f *affineForm, loopSlots map[int]bool) {
+	switch x := e.(type) {
+	case ir.ILoad:
+		f.indirect = true
+		if f.indirectSlots == nil {
+			f.indirectSlots = map[int]bool{}
+		}
+		for _, ix := range x.Idx {
+			collectSlots(ix, f.indirectSlots, loopSlots)
+		}
+	case ir.IBin:
+		collectIndirectSlots(x.A, f, loopSlots)
+		collectIndirectSlots(x.B, f, loopSlots)
+	}
+}
+
+func collectSlots(e ir.IExpr, out map[int]bool, loopSlots map[int]bool) {
+	switch x := e.(type) {
+	case ir.ISlot:
+		if loopSlots[x.Slot] {
+			out[x.Slot] = true
+		}
+	case ir.IBin:
+		collectSlots(x.A, out, loopSlots)
+		collectSlots(x.B, out, loopSlots)
+	case ir.ILoad:
+		for _, ix := range x.Idx {
+			collectSlots(ix, out, loopSlots)
+		}
+	}
+}
+
+func (f affineForm) scaled(v int64) affineForm {
+	out := newForm()
+	out.konst = f.konst * v
+	out.indirect = f.indirect
+	out.residual = f.residual
+	out.indirectSlots = f.indirectSlots
+	for s, c := range f.coeffs {
+		out.coeffs[s] = c * v
+	}
+	return out
+}
+
+// TripCount returns the compile-time trip count of a loop, or
+// (DefaultEstTrip, false) when the bounds are unknown. Bounds that are
+// affine in outer loop variables with matching coefficients — the
+// (i+1)*w .. i*w pattern of blocked codes — are handled by symbolic
+// differencing. Loops may override the default estimate via EstTrip.
+func (a *Analysis) TripCount(l *ir.Loop) (int64, bool) {
+	lo, ok1 := ir.ConstEval(l.Lo, a.Known)
+	hi, ok2 := ir.ConstEval(l.Hi, a.Known)
+	if ok1 && ok2 {
+		n := (hi - lo + l.Step - 1) / l.Step
+		if n < 0 {
+			n = 0
+		}
+		return n, true
+	}
+	// Symbolic differencing: treat every slot as a symbol and subtract.
+	allSlots := allSlotsIn(l.Lo, allSlotsIn(l.Hi, map[int]bool{}))
+	for s := range a.Known {
+		delete(allSlots, s) // known params evaluate, they are not symbols
+	}
+	flo := a.affine(l.Lo, allSlots)
+	fhi := a.affine(l.Hi, allSlots)
+	if !flo.residual && !fhi.residual && !flo.indirect && !fhi.indirect {
+		same := len(flo.coeffs) == len(fhi.coeffs)
+		for s, c := range flo.coeffs {
+			if fhi.coeffs[s] != c {
+				same = false
+				break
+			}
+		}
+		if same {
+			n := (fhi.konst - flo.konst + l.Step - 1) / l.Step
+			if n < 0 {
+				n = 0
+			}
+			return n, true
+		}
+	}
+	if l.EstTrip > 0 {
+		return l.EstTrip, false
+	}
+	return a.DefaultEstTrip, false
+}
+
+// allSlotsIn collects every slot read by an expression.
+func allSlotsIn(e ir.IExpr, out map[int]bool) map[int]bool {
+	switch x := e.(type) {
+	case ir.ISlot:
+		out[x.Slot] = true
+	case ir.IBin:
+		allSlotsIn(x.A, out)
+		allSlotsIn(x.B, out)
+	case ir.ILoad:
+		for _, ix := range x.Idx {
+			allSlotsIn(ix, out)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package nas
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/ir"
+)
+
+// smallScale keeps unit-test kernels quick; correctness is scale-free.
+const smallScale = 0.05
+
+// runApp executes an app at a scale under a config and validates it.
+func runApp(t *testing.T, app *App, scale float64, cfg func(dataBytes int64) core.Config) *core.Result {
+	t.Helper()
+	prog := app.Build(scale)
+	ps := hw.Default().PageSize
+	if err := prog.Resolve(ps); err != nil {
+		t.Fatalf("%s: resolve: %v", app.Name, err)
+	}
+	c := cfg(DataBytes(prog, ps))
+	c.Seed = app.Seed
+	res, err := core.Run(prog, c)
+	if err != nil {
+		t.Fatalf("%s: run: %v", app.Name, err)
+	}
+	if err := app.Check(prog, res.VM, res.Env); err != nil {
+		t.Fatalf("%s: validation failed: %v", app.Name, err)
+	}
+	return res
+}
+
+// inCore gives the app far more memory than data: no paging pressure.
+func inCore(dataBytes int64) core.Config {
+	cfg := core.DefaultConfig(core.MachineFor(dataBytes, 0.25))
+	cfg.Prefetch = false
+	return cfg
+}
+
+// outOfCorePaged: data = 2× memory, plain paged VM.
+func outOfCorePaged(dataBytes int64) core.Config {
+	cfg := core.DefaultConfig(core.MachineFor(dataBytes, 2))
+	cfg.Prefetch = false
+	return cfg
+}
+
+// outOfCorePrefetch: data = 2× memory, compiler-inserted prefetching.
+func outOfCorePrefetch(dataBytes int64) core.Config {
+	return core.DefaultConfig(core.MachineFor(dataBytes, 2))
+}
+
+func TestSuiteHasEightApps(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 8 {
+		t.Fatalf("suite has %d apps, want 8", len(apps))
+	}
+	want := []string{"BUK", "CGM", "EMBAR", "FFT", "MGRID", "APPLU", "APPSP", "APPBT"}
+	for i, name := range want {
+		if apps[i].Name != name {
+			t.Fatalf("app %d is %s, want %s", i, apps[i].Name, name)
+		}
+		if apps[i].Desc == "" {
+			t.Fatalf("%s has no description", name)
+		}
+	}
+	if ByName("CGM") == nil || ByName("nope") != nil {
+		t.Fatal("ByName lookup broken")
+	}
+	if len(Names()) != 8 {
+		t.Fatal("Names() wrong length")
+	}
+}
+
+// Every kernel must validate in-core (fast, exercises pure semantics).
+func TestAllAppsValidateInCore(t *testing.T) {
+	for _, app := range Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			runApp(t, app, smallScale, inCore)
+		})
+	}
+}
+
+// The central correctness property of non-binding prefetching: original
+// paged execution and compiler-transformed prefetching execution produce
+// identical results out of core.
+func TestAllAppsValidateOutOfCorePagedAndPrefetched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("out-of-core validation is not short")
+	}
+	for _, app := range Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			runApp(t, app, smallScale, outOfCorePaged)
+			runApp(t, app, smallScale, outOfCorePrefetch)
+		})
+	}
+}
+
+// Scaling must actually change the data-set size monotonically.
+func TestBuildScalesData(t *testing.T) {
+	ps := hw.Default().PageSize
+	for _, app := range Apps() {
+		small := app.Build(0.05)
+		big := app.Build(0.8)
+		if err := small.Resolve(ps); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if err := big.Resolve(ps); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if DataBytes(big, ps) <= DataBytes(small, ps) {
+			t.Errorf("%s: scale 0.8 (%d B) not larger than scale 0.05 (%d B)",
+				app.Name, DataBytes(big, ps), DataBytes(small, ps))
+		}
+	}
+}
+
+// The FFT reference must be a true DFT: compare against the naive
+// transform on a tiny grid. The kernel's final layout is (y, x, z) with z
+// contiguous after the two transposes.
+func TestFFTReferenceIsAnActualDFT(t *testing.T) {
+	const n1, n2, n3 = 4, 4, 4
+	gotRe, gotIm := fftReference(n1, n2, n3)
+
+	in := make([]complex128, n1*n2*n3)
+	for i := range in {
+		in[i] = complex(fftInRe(int64(i)), fftInIm(int64(i)))
+	}
+	// naive 3-D DFT over original layout (z,y,x), x contiguous
+	dft := make([]complex128, n1*n2*n3)
+	for kz := int64(0); kz < n3; kz++ {
+		for ky := int64(0); ky < n2; ky++ {
+			for kx := int64(0); kx < n1; kx++ {
+				var sum complex128
+				for z := int64(0); z < n3; z++ {
+					for y := int64(0); y < n2; y++ {
+						for x := int64(0); x < n1; x++ {
+							ang := -2 * math.Pi * (float64(kx*x)/float64(n1) +
+								float64(ky*y)/float64(n2) + float64(kz*z)/float64(n3))
+							sum += in[(z*n2+y)*n1+x] * cmplx.Exp(complex(0, ang))
+						}
+					}
+				}
+				dft[(kz*n2+ky)*n1+kx] = sum
+			}
+		}
+	}
+	for kz := int64(0); kz < n3; kz++ {
+		for ky := int64(0); ky < n2; ky++ {
+			for kx := int64(0); kx < n1; kx++ {
+				want := dft[(kz*n2+ky)*n1+kx]
+				// Kernel layout after transposes: (ky, kx, kz), z contiguous.
+				got := complex(gotRe[(ky*n1+kx)*n3+kz], gotIm[(ky*n1+kx)*n3+kz])
+				if cmplx.Abs(got-want) > 1e-9*(1+cmplx.Abs(want)) {
+					t.Fatalf("DFT mismatch at (%d,%d,%d): got %v want %v", kx, ky, kz, got, want)
+				}
+			}
+		}
+	}
+}
+
+// EMBAR's tabulated counts must total the accepted pairs and the sums
+// must be plausibly gaussian (near zero mean).
+func TestEMBARStatistics(t *testing.T) {
+	res := runApp(t, EMBAR(), 0.1, inCore)
+	prog := res.Prog
+	var total float64
+	for l := int64(0); l < 16; l++ {
+		total += peekF(prog, res.VM, "q", l)
+	}
+	n, _ := prog.ParamValue("n")
+	accept := total / float64(n/2)
+	// π/4 ≈ 0.785 acceptance for the polar method.
+	if accept < 0.7 || accept > 0.87 {
+		t.Fatalf("acceptance rate %.3f, want ≈0.785", accept)
+	}
+}
+
+// BUK ranks must be consistent with sorted order: for a sample of key
+// pairs, a smaller key must get a smaller rank.
+func TestBUKRankOrdering(t *testing.T) {
+	res := runApp(t, BUK(), 0.02, inCore)
+	prog := res.Prog
+	n, _ := prog.ParamValue("n")
+	for i := int64(0); i+1 < n && i < 2000; i += 2 {
+		k1, k2 := bukKey(i), bukKey(i+1)
+		r1 := peekI(prog, res.VM, "rank", i)
+		r2 := peekI(prog, res.VM, "rank", i+1)
+		if k1 < k2 && r1 >= r2 {
+			t.Fatalf("rank ordering violated: key %d→rank %d, key %d→rank %d", k1, r1, k2, r2)
+		}
+		if k1 == k2 && r1 != r2 {
+			t.Fatalf("equal keys got different ranks")
+		}
+	}
+}
+
+// The unknown block dimension must reach the compiler as unknown in
+// APPBT and as known in APPLU — the pair that explains Figure 4(a).
+func TestSymbolicBoundContrast(t *testing.T) {
+	bt := APPBT().Build(smallScale)
+	var btUnknown bool
+	for _, p := range bt.Params {
+		if p.Name == "bm" && !p.Known {
+			btUnknown = true
+		}
+	}
+	if !btUnknown {
+		t.Fatal("APPBT's bm should be unknown at compile time")
+	}
+	lu := APPLU().Build(smallScale)
+	for _, p := range lu.Params {
+		if !p.Known {
+			t.Fatalf("APPLU param %s unexpectedly unknown", p.Name)
+		}
+	}
+	_ = ir.Print(bt) // printable without panic
+}

@@ -1,0 +1,110 @@
+// Package rt implements the run-time layer of the paper (§2.2.2, §2.4):
+// a thin user-level library between the compiled application and the
+// operating system. It registers with the OS to share the residency
+// bit-vector page and uses it to filter the prefetches the compiler
+// inserted: a prefetch whose pages are all believed resident is dropped
+// without a system call, at roughly 1% of the cost. For block prefetches
+// it checks pages until the first one not in memory and passes all
+// remaining pages to the OS, so at most one system call is made per block.
+//
+// The layer can be disabled to reproduce Figure 4(c), in which case every
+// compiler-inserted prefetch goes straight to the OS.
+package rt
+
+import "repro/internal/vm"
+
+// Stats counts run-time-layer activity. InsertedPages is the denominator
+// of Figure 4(b)'s right-hand column: every page named by a
+// compiler-inserted prefetch that reached the layer.
+type Stats struct {
+	InsertedCalls int64 // compiler-inserted prefetch/release call sites executed
+	InsertedPages int64 // pages named by those prefetches
+	FilteredPages int64 // pages dropped at user level (believed resident)
+	IssuedCalls   int64 // system calls actually made
+	IssuedPages   int64 // prefetch pages passed to the OS
+	ReleasePages  int64 // release pages passed through (never filtered)
+}
+
+// UnnecessaryInsertedFrac returns the fraction of compiler-inserted
+// prefetch pages that the layer filtered as unnecessary — the right-hand
+// column of Figure 4(b).
+func (s Stats) UnnecessaryInsertedFrac() float64 {
+	if s.InsertedPages == 0 {
+		return 0
+	}
+	return float64(s.FilteredPages) / float64(s.InsertedPages)
+}
+
+// Layer is one application's run-time layer instance.
+type Layer struct {
+	vm      *vm.VM
+	bv      *vm.BitVector
+	enabled bool
+	stats   Stats
+}
+
+// Register attaches a run-time layer to an address space, sharing the OS
+// bit-vector page. If enabled is false the layer becomes a pass-through
+// (the Figure 4(c) configuration).
+func Register(v *vm.VM, enabled bool) *Layer {
+	return &Layer{vm: v, bv: v.BitVector(), enabled: enabled}
+}
+
+// Enabled reports whether filtering is active.
+func (l *Layer) Enabled() bool { return l.enabled }
+
+// Stats returns a snapshot of the layer's counters.
+func (l *Layer) Stats() Stats { return l.stats }
+
+// Prefetch handles a compiler-inserted prefetch of n pages at page.
+func (l *Layer) Prefetch(page, n int64) { l.PrefetchRelease(page, n, 0, 0) }
+
+// Release handles a compiler-inserted release of n pages at page.
+// Releases are never filtered: the layer cannot know better than the
+// compiler that the data is dead, and the OS must clear the bits.
+func (l *Layer) Release(page, n int64) { l.PrefetchRelease(0, 0, page, n) }
+
+// PrefetchRelease handles a bundled compiler call (prefetch_release_block
+// in Figure 2): prefetch [pfPage, pfPage+pfN), release [relPage,
+// relPage+relN), with at most one system call.
+func (l *Layer) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
+	l.stats.InsertedCalls++
+	l.stats.InsertedPages += pfN
+
+	if !l.enabled {
+		l.stats.IssuedCalls++
+		l.stats.IssuedPages += pfN
+		l.stats.ReleasePages += relN
+		l.vm.PrefetchRelease(pfPage, pfN, relPage, relN)
+		return
+	}
+
+	// Check pages until one is found that is not in memory; everything
+	// before it is filtered, everything from it on is passed through.
+	p := pfPage
+	end := pfPage + pfN
+	for p < end {
+		l.vm.AddUserTime(l.vm.Params().FilterCheckTime)
+		if !l.bv.Get(p) {
+			break
+		}
+		p++
+	}
+	l.stats.FilteredPages += p - pfPage
+
+	if p == end && relN == 0 {
+		return // entire prefetch filtered, nothing to release: no syscall
+	}
+
+	issueN := end - p
+	l.stats.IssuedCalls++
+	l.stats.IssuedPages += issueN
+	l.stats.ReleasePages += relN
+	// Set the bits at issue time, as the paper specifies. If the OS drops
+	// the prefetch the bit is merely stale: the page faults on use, which
+	// is always safe, and the OS re-clears bits on reclaim.
+	for q := p; q < end; q++ {
+		l.bv.Set(q)
+	}
+	l.vm.PrefetchRelease(p, issueN, relPage, relN)
+}

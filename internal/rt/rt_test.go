@@ -1,0 +1,186 @@
+package rt
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stripefs"
+	"repro/internal/vm"
+)
+
+func newSystem(t testing.TB, frames, spacePages int64) (*sim.Clock, *vm.VM) {
+	t.Helper()
+	p := hw.Default()
+	p.MemoryBytes = frames * p.PageSize
+	c := sim.NewClock()
+	fs := stripefs.New(c, p, nil)
+	f, err := fs.Create("space", spacePages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, vm.New(c, p, f)
+}
+
+func TestFilterDropsResidentPrefetch(t *testing.T) {
+	c, v := newSystem(t, 64, 64)
+	l := Register(v, true)
+	base, _ := v.Alloc("x", 4*v.Params().PageSize)
+	p0 := v.PageOf(base)
+
+	l.Prefetch(p0, 2)
+	c.Advance(sim.Second)
+	callsAfterFirst := v.Stats().PrefetchCalls
+
+	// Second identical prefetch: both pages are resident and the bits are
+	// set, so no system call may happen.
+	l.Prefetch(p0, 2)
+	s := l.Stats()
+	if v.Stats().PrefetchCalls != callsAfterFirst {
+		t.Fatal("fully-filtered prefetch still made a system call")
+	}
+	if s.FilteredPages != 2 {
+		t.Fatalf("FilteredPages = %d, want 2", s.FilteredPages)
+	}
+	if s.InsertedPages != 4 || s.InsertedCalls != 2 {
+		t.Fatalf("inserted accounting wrong: %+v", s)
+	}
+}
+
+func TestFilterCostIsTiny(t *testing.T) {
+	c, v := newSystem(t, 64, 64)
+	l := Register(v, true)
+	base, _ := v.Alloc("x", 4*v.Params().PageSize)
+	p0 := v.PageOf(base)
+	l.Prefetch(p0, 1)
+	c.Advance(sim.Second)
+
+	// A filtered prefetch costs only the user-level check, ~1% of the
+	// syscall; it must not add system time.
+	sysBefore := v.Times().SysPrefetch
+	userBefore := v.Times().User
+	l.Prefetch(p0, 1)
+	if v.Times().SysPrefetch != sysBefore {
+		t.Fatal("filtered prefetch charged system time")
+	}
+	userCost := v.Times().User - userBefore
+	if userCost <= 0 || userCost > v.Params().PrefetchSyscallTime/10 {
+		t.Fatalf("filter cost %v, want small positive (≪ syscall %v)",
+			userCost, v.Params().PrefetchSyscallTime)
+	}
+}
+
+func TestBlockTrimsLeadingResidentPages(t *testing.T) {
+	c, v := newSystem(t, 64, 64)
+	l := Register(v, true)
+	base, _ := v.Alloc("x", 8*v.Params().PageSize)
+	p0 := v.PageOf(base)
+
+	l.Prefetch(p0, 2) // pages 0,1 resident
+	c.Advance(sim.Second)
+	issuedBefore := l.Stats().IssuedPages
+
+	// Block prefetch of pages 0..5: 0 and 1 trim, 2..5 pass in ONE call.
+	callsBefore := v.Stats().PrefetchCalls
+	l.Prefetch(p0, 6)
+	s := l.Stats()
+	if got := s.IssuedPages - issuedBefore; got != 4 {
+		t.Fatalf("issued %d pages, want 4 (leading 2 trimmed)", got)
+	}
+	if v.Stats().PrefetchCalls != callsBefore+1 {
+		t.Fatal("block prefetch made more than one system call")
+	}
+}
+
+func TestInteriorResidentPagePassesThrough(t *testing.T) {
+	// The paper passes "all remaining pages" after the first non-resident
+	// one, so a resident page in the middle reaches the OS and is counted
+	// unnecessary there — exactly the Figure 4(b) left-column effect.
+	c, v := newSystem(t, 64, 64)
+	l := Register(v, true)
+	base, _ := v.Alloc("x", 8*v.Params().PageSize)
+	p0 := v.PageOf(base)
+
+	l.Prefetch(p0+2, 1) // make an interior page resident
+	c.Advance(sim.Second)
+	unneededBefore := v.Stats().PrefetchUnneeded
+
+	l.Prefetch(p0, 6)
+	if got := v.Stats().PrefetchUnneeded - unneededBefore; got != 1 {
+		t.Fatalf("interior resident page: OS saw %d unnecessary, want 1", got)
+	}
+}
+
+func TestDisabledLayerPassesEverything(t *testing.T) {
+	c, v := newSystem(t, 64, 64)
+	l := Register(v, false)
+	base, _ := v.Alloc("x", 4*v.Params().PageSize)
+	p0 := v.PageOf(base)
+
+	l.Prefetch(p0, 2)
+	c.Advance(sim.Second)
+	l.Prefetch(p0, 2) // resident, but the layer is off: syscall anyway
+	if got := v.Stats().PrefetchCalls; got != 2 {
+		t.Fatalf("disabled layer made %d syscalls, want 2", got)
+	}
+	if got := v.Stats().PrefetchUnneeded; got != 2 {
+		t.Fatalf("OS saw %d unnecessary pages, want 2", got)
+	}
+	if l.Stats().FilteredPages != 0 {
+		t.Fatal("disabled layer filtered pages")
+	}
+}
+
+func TestReleaseAlwaysReachesOS(t *testing.T) {
+	c, v := newSystem(t, 64, 64)
+	l := Register(v, true)
+	base, _ := v.Alloc("x", 8*v.Params().PageSize)
+	p0 := v.PageOf(base)
+	l.Prefetch(p0, 4)
+	c.Advance(sim.Second)
+
+	// Bundled call whose prefetch part is fully resident: the release
+	// still needs the kernel, so exactly one syscall happens.
+	callsBefore := v.Stats().PrefetchCalls
+	l.PrefetchRelease(p0, 4, p0, 2)
+	if got := v.Stats().PrefetchCalls - callsBefore; got != 1 {
+		t.Fatalf("bundled call with releases made %d syscalls, want 1", got)
+	}
+	if got := v.Stats().ReleasedPages; got != 2 {
+		t.Fatalf("OS released %d pages, want 2", got)
+	}
+}
+
+func TestFilteredFractionStat(t *testing.T) {
+	s := Stats{InsertedPages: 100, FilteredPages: 96}
+	if got := s.UnnecessaryInsertedFrac(); got != 0.96 {
+		t.Fatalf("UnnecessaryInsertedFrac = %v, want 0.96", got)
+	}
+	if (Stats{}).UnnecessaryInsertedFrac() != 0 {
+		t.Fatal("zero stats should give 0")
+	}
+}
+
+func TestFilterMuchCheaperThanSyscallEndToEnd(t *testing.T) {
+	// End-to-end version of the paper's claim: issuing N unnecessary
+	// prefetches through the layer must be far cheaper than issuing them
+	// to the OS directly.
+	elapsed := func(enabled bool) sim.Time {
+		c, v := newSystem(t, 64, 64)
+		l := Register(v, enabled)
+		base, _ := v.Alloc("x", 4*v.Params().PageSize)
+		p0 := v.PageOf(base)
+		l.Prefetch(p0, 1)
+		c.Advance(sim.Second)
+		start := c.Now()
+		for i := 0; i < 1000; i++ {
+			l.Prefetch(p0, 1)
+		}
+		v.Finish()
+		return c.Now() - start
+	}
+	with, without := elapsed(true), elapsed(false)
+	if with*20 > without {
+		t.Fatalf("filtering saved too little: with=%v without=%v", with, without)
+	}
+}

@@ -1,0 +1,170 @@
+// Package sim provides the discrete-event simulation engine that underlies
+// the out-of-core prefetching system: a virtual clock measured in
+// nanoseconds and an event queue with deterministic ordering.
+//
+// The engine is deliberately single-threaded. The simulated application
+// runs as ordinary Go code that charges compute time to the clock; disk
+// completions and daemon activity are events scheduled on the queue. When
+// the application must wait (e.g. a page fault), it spins the event queue
+// forward until the condition it is waiting for becomes true.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// run. It is a distinct type to keep simulated time from being confused
+// with wall-clock durations.
+type Time int64
+
+// Common durations, expressed in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// An event is a closure scheduled to run at a given simulated time. Events
+// at the same time run in the order they were scheduled (seq breaks ties),
+// which keeps runs fully deterministic.
+type event struct {
+	when Time
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is the simulated clock plus its pending event queue.
+//
+// The zero value is ready to use and reads time zero.
+type Clock struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// DeadlockInfo, if set, is called to enrich the WaitFor deadlock
+	// panic with system state.
+	DeadlockInfo func() string
+}
+
+// NewClock returns a clock starting at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Pending reports the number of scheduled events that have not yet run.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// Schedule arranges for fn to run delay nanoseconds from now. A negative
+// delay is treated as zero. Events never run re-entrantly: they fire only
+// from Advance, AdvanceTo, or WaitFor.
+func (c *Clock) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	c.At(c.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t (or now, if t is in the
+// past).
+func (c *Clock) At(t Time, fn func()) {
+	if t < c.now {
+		t = c.now
+	}
+	c.seq++
+	heap.Push(&c.events, event{when: t, seq: c.seq, fn: fn})
+}
+
+// Advance moves simulated time forward by d, firing any events that come
+// due along the way, in timestamp order.
+func (c *Clock) Advance(d Time) {
+	if d < 0 {
+		panic("sim: negative advance")
+	}
+	c.AdvanceTo(c.now + d)
+}
+
+// AdvanceTo moves simulated time forward to t, firing due events in order.
+// It is a no-op if t is not in the future.
+func (c *Clock) AdvanceTo(t Time) {
+	for len(c.events) > 0 && c.events[0].when <= t {
+		e := heap.Pop(&c.events).(event)
+		c.now = e.when
+		e.fn()
+	}
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// WaitFor runs events until cond reports true, returning the amount of
+// simulated time that passed. It panics if the event queue drains with the
+// condition still false, since the simulated system would then be
+// deadlocked.
+func (c *Clock) WaitFor(cond func() bool) Time {
+	start := c.now
+	for !cond() {
+		if len(c.events) == 0 {
+			msg := "sim: deadlock: waiting with no pending events"
+			if c.DeadlockInfo != nil {
+				msg += "\n" + c.DeadlockInfo()
+			}
+			panic(msg)
+		}
+		e := heap.Pop(&c.events).(event)
+		c.now = e.when
+		e.fn()
+	}
+	return c.now - start
+}
+
+// Drain runs all remaining events in order, returning when the queue is
+// empty.
+func (c *Clock) Drain() {
+	for len(c.events) > 0 {
+		e := heap.Pop(&c.events).(event)
+		c.now = e.when
+		e.fn()
+	}
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock reads %v, want 0", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("new clock has %d pending events, want 0", c.Pending())
+	}
+}
+
+func TestAdvanceMovesTime(t *testing.T) {
+	c := NewClock()
+	c.Advance(5 * Millisecond)
+	if got := c.Now(); got != 5*Millisecond {
+		t.Fatalf("Now() = %v, want 5ms", got)
+	}
+	c.Advance(0)
+	if got := c.Now(); got != 5*Millisecond {
+		t.Fatalf("Now() after zero advance = %v, want 5ms", got)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestScheduleFiresInOrder(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.Schedule(3*Microsecond, func() { order = append(order, 3) })
+	c.Schedule(1*Microsecond, func() { order = append(order, 1) })
+	c.Schedule(2*Microsecond, func() { order = append(order, 2) })
+	c.Advance(10 * Microsecond)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired in order %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(Millisecond, func() { order = append(order, i) })
+	}
+	c.Advance(Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEventSeesEventTime(t *testing.T) {
+	c := NewClock()
+	var at Time
+	c.Schedule(7*Microsecond, func() { at = c.Now() })
+	c.Advance(Second)
+	if at != 7*Microsecond {
+		t.Fatalf("event observed Now()=%v, want 7µs", at)
+	}
+}
+
+func TestEventCanScheduleEvent(t *testing.T) {
+	c := NewClock()
+	var fired []Time
+	c.Schedule(Microsecond, func() {
+		fired = append(fired, c.Now())
+		c.Schedule(Microsecond, func() { fired = append(fired, c.Now()) })
+	})
+	c.Advance(10 * Microsecond)
+	if len(fired) != 2 || fired[0] != Microsecond || fired[1] != 2*Microsecond {
+		t.Fatalf("chained events fired at %v, want [1µs 2µs]", fired)
+	}
+}
+
+func TestAtInPastRunsNow(t *testing.T) {
+	c := NewClock()
+	c.Advance(Second)
+	var at Time = -1
+	c.At(Millisecond, func() { at = c.Now() })
+	c.Advance(0)
+	if at != Second {
+		t.Fatalf("past event fired at %v, want current time %v", at, Second)
+	}
+}
+
+func TestWaitFor(t *testing.T) {
+	c := NewClock()
+	done := false
+	c.Schedule(42*Millisecond, func() { done = true })
+	waited := c.WaitFor(func() bool { return done })
+	if waited != 42*Millisecond {
+		t.Fatalf("WaitFor waited %v, want 42ms", waited)
+	}
+	if c.Now() != 42*Millisecond {
+		t.Fatalf("Now() = %v after WaitFor, want 42ms", c.Now())
+	}
+}
+
+func TestWaitForImmediate(t *testing.T) {
+	c := NewClock()
+	if waited := c.WaitFor(func() bool { return true }); waited != 0 {
+		t.Fatalf("WaitFor(true) waited %v, want 0", waited)
+	}
+}
+
+func TestWaitForDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WaitFor with empty queue did not panic")
+		}
+	}()
+	NewClock().WaitFor(func() bool { return false })
+}
+
+func TestDrain(t *testing.T) {
+	c := NewClock()
+	n := 0
+	for i := 1; i <= 5; i++ {
+		c.Schedule(Time(i)*Millisecond, func() { n++ })
+	}
+	c.Drain()
+	if n != 5 {
+		t.Fatalf("Drain ran %d events, want 5", n)
+	}
+	if c.Now() != 5*Millisecond {
+		t.Fatalf("Now() = %v after Drain, want 5ms", c.Now())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.5µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, tc := range cases {
+		if got := tc.t.String(); got != tc.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(tc.t), got, tc.want)
+		}
+	}
+}
+
+// Property: regardless of the (non-negative) delays chosen, events fire in
+// nondecreasing timestamp order and the clock never runs backwards.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		c := NewClock()
+		var fired []Time
+		for _, d := range delays {
+			c.Schedule(Time(d)*Microsecond, func() { fired = append(fired, c.Now()) })
+		}
+		c.Drain()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: advancing in arbitrary increments reaches the same total.
+func TestAdvanceAdditiveProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewClock()
+		var total Time
+		for _, s := range steps {
+			c.Advance(Time(s))
+			total += Time(s)
+		}
+		return c.Now() == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

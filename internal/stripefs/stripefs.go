@@ -1,0 +1,208 @@
+// Package stripefs implements the file-system layer of the platform: files
+// whose pages are striped round-robin across all disks, with extent-based
+// placement (contiguous file blocks on a disk occupy contiguous disk
+// blocks, so sequential access needs no seeks). This mirrors the Hurricane
+// File System configuration used in the paper.
+package stripefs
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// FS is a striped file system over a fixed array of disks.
+type FS struct {
+	clock *sim.Clock
+	p     hw.Params
+	disks []*disk.Disk
+	// next free disk-local block on each disk (bump allocation: extents).
+	nextBlock []int64
+	files     []*File
+}
+
+// New creates a file system over p.NumDisks fresh disks. If sched is nil
+// each disk uses FCFS, matching the paper ("the disk scheduler treats
+// prefetches the same as normal disk read requests").
+func New(clock *sim.Clock, p hw.Params, mkSched func() disk.Scheduler) *FS {
+	fs := &FS{clock: clock, p: p, nextBlock: make([]int64, p.NumDisks)}
+	for i := 0; i < p.NumDisks; i++ {
+		var s disk.Scheduler
+		if mkSched != nil {
+			s = mkSched()
+		}
+		fs.disks = append(fs.disks, disk.New(clock, p, i, s))
+	}
+	return fs
+}
+
+// Disks exposes the underlying disks (for statistics).
+func (fs *FS) Disks() []*disk.Disk { return fs.disks }
+
+// Params returns the hardware parameters the file system was built with.
+func (fs *FS) Params() hw.Params { return fs.p }
+
+// A File is a striped, extent-allocated file. Page p of the file lives on
+// disk p mod D at disk-local block base[p mod D] + p div D.
+type File struct {
+	fs    *FS
+	name  string
+	pages int64
+	base  []int64 // starting block on each disk
+
+	// Backing contents, one slice per file page; nil means all-zero.
+	// This is the "data on disk": reads copy out of it, writes copy in.
+	store [][]byte
+}
+
+// Create allocates a file of the given number of pages, laid out in one
+// extent per disk.
+func (fs *FS) Create(name string, pages int64) (*File, error) {
+	if pages <= 0 {
+		return nil, fmt.Errorf("stripefs: file %q needs a positive size, got %d pages", name, pages)
+	}
+	d := int64(fs.p.NumDisks)
+	perDisk := (pages + d - 1) / d
+	f := &File{fs: fs, name: name, pages: pages, base: make([]int64, d), store: make([][]byte, pages)}
+	for i := int64(0); i < d; i++ {
+		f.base[i] = fs.nextBlock[i]
+		fs.nextBlock[i] += perDisk
+	}
+	fs.files = append(fs.files, f)
+	return f, nil
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Pages returns the file's length in pages.
+func (f *File) Pages() int64 { return f.pages }
+
+// locate maps a file page to (disk, disk-local block).
+func (f *File) locate(page int64) (diskID int, block int64) {
+	d := int64(f.fs.p.NumDisks)
+	diskID = int(page % d)
+	block = f.base[diskID] + page/d
+	return
+}
+
+// DiskOf returns the disk a file page is striped onto.
+func (f *File) DiskOf(page int64) int {
+	d, _ := f.locate(page)
+	return d
+}
+
+// QueueLenOf returns the current request-queue depth of the disk a page
+// is striped onto. The OS consults it to drop prefetches when the disk
+// subsystem is overloaded.
+func (f *File) QueueLenOf(page int64) int {
+	d, _ := f.locate(page)
+	return f.fs.disks[d].QueueLen()
+}
+
+// SetPage installs the backing contents of a page without simulated I/O.
+// It is how experiments pre-initialize input files ("the data now comes
+// from disk"). The slice is copied.
+func (f *File) SetPage(page int64, data []byte) {
+	f.check(page, 1)
+	ps := int(f.fs.p.PageSize)
+	if len(data) > ps {
+		panic(fmt.Sprintf("stripefs: page data %d B exceeds page size %d", len(data), ps))
+	}
+	buf := make([]byte, ps)
+	copy(buf, data)
+	f.store[page] = buf
+}
+
+// PeekPage returns the current backing contents of a page (nil means
+// all-zero). The caller must not mutate the result.
+func (f *File) PeekPage(page int64) []byte {
+	f.check(page, 1)
+	return f.store[page]
+}
+
+func (f *File) check(page, n int64) {
+	if page < 0 || n < 0 || page+n > f.pages {
+		panic(fmt.Sprintf("stripefs: access [%d,%d) outside file %q of %d pages", page, page+n, f.name, f.pages))
+	}
+}
+
+// Read issues asynchronous reads of file pages [page, page+n). When a
+// page's disk transfer completes its data is copied into the buffer
+// returned by dst(page) and then arrived(page), if non-nil, is invoked;
+// done, if non-nil, runs once all pages are in. Contiguous pages that land
+// on the same disk are coalesced into a single request so a block prefetch
+// of k pages costs one positional delay per disk, not per page.
+func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []byte, arrived func(page int64), done func()) {
+	f.check(page, n)
+	if n == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	d := int64(f.fs.p.NumDisks)
+	remaining := 0
+	complete := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	// Per disk, the file pages in [page, page+n) form one contiguous run
+	// of disk-local blocks, so each disk gets at most one request.
+	for dd := int64(0); dd < d; dd++ {
+		first := page + ((dd-page%d)%d+d)%d // first page ≥ page on disk dd
+		if first >= page+n {
+			continue
+		}
+		count := (page + n - first + d - 1) / d
+		_, startBlock := f.locate(first)
+		remaining++
+		f.fs.disks[dd].Submit(disk.Request{
+			Block: startBlock,
+			Pages: count,
+			Kind:  kind,
+			Done: func() {
+				for i := int64(0); i < count; i++ {
+					p := first + i*d
+					buf := dst(p)
+					if src := f.store[p]; src != nil {
+						copy(buf, src)
+					} else {
+						for j := range buf {
+							buf[j] = 0
+						}
+					}
+					if arrived != nil {
+						arrived(p)
+					}
+				}
+				complete()
+			},
+		})
+	}
+}
+
+// Write issues an asynchronous write-back of one page. The source buffer
+// is captured immediately (the frame may be reused right away); done runs
+// at transfer completion.
+func (f *File) Write(page int64, src []byte, done func()) {
+	f.check(page, 1)
+	buf := make([]byte, f.fs.p.PageSize)
+	copy(buf, src)
+	diskID, block := f.locate(page)
+	f.fs.disks[diskID].Submit(disk.Request{
+		Block: block,
+		Pages: 1,
+		Kind:  disk.Write,
+		Done: func() {
+			f.store[page] = buf
+			if done != nil {
+				done()
+			}
+		},
+	})
+}

@@ -1,0 +1,246 @@
+package stripefs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func newFS() (*sim.Clock, *FS) {
+	c := sim.NewClock()
+	return c, New(c, hw.Scaled(8<<20), nil)
+}
+
+func TestCreateValidatesSize(t *testing.T) {
+	_, fs := newFS()
+	if _, err := fs.Create("bad", 0); err == nil {
+		t.Fatal("Create with 0 pages succeeded")
+	}
+	if _, err := fs.Create("bad", -3); err == nil {
+		t.Fatal("Create with negative pages succeeded")
+	}
+	f, err := fs.Create("ok", 10)
+	if err != nil || f.Pages() != 10 || f.Name() != "ok" {
+		t.Fatalf("Create(ok,10) = %v, %v", f, err)
+	}
+}
+
+func TestRoundRobinStriping(t *testing.T) {
+	_, fs := newFS()
+	f, _ := fs.Create("f", 100)
+	d := fs.Params().NumDisks
+	for p := int64(0); p < 100; p++ {
+		if got := f.DiskOf(p); got != int(p)%d {
+			t.Fatalf("page %d on disk %d, want %d", p, got, int(p)%d)
+		}
+	}
+}
+
+func TestExtentsAreContiguousPerDisk(t *testing.T) {
+	_, fs := newFS()
+	f, _ := fs.Create("f", 70)
+	d := int64(fs.Params().NumDisks)
+	for dd := int64(0); dd < d; dd++ {
+		var prev int64 = -1
+		for p := dd; p < 70; p += d {
+			_, block := f.locate(p)
+			if prev >= 0 && block != prev+1 {
+				t.Fatalf("disk %d: page %d at block %d, previous page's block %d (not contiguous)", dd, p, block, prev)
+			}
+			prev = block
+		}
+	}
+}
+
+func TestTwoFilesDoNotOverlap(t *testing.T) {
+	_, fs := newFS()
+	a, _ := fs.Create("a", 21)
+	b, _ := fs.Create("b", 21)
+	type loc struct {
+		d int
+		b int64
+	}
+	seen := map[loc]string{}
+	for p := int64(0); p < 21; p++ {
+		for _, f := range []*File{a, b} {
+			d, blk := f.locate(p)
+			l := loc{d, blk}
+			if prev, ok := seen[l]; ok {
+				t.Fatalf("disk %d block %d used by both %s and %s", d, blk, prev, f.Name())
+			}
+			seen[l] = f.Name()
+		}
+	}
+}
+
+func TestReadDeliversStoredData(t *testing.T) {
+	c, fs := newFS()
+	f, _ := fs.Create("f", 8)
+	ps := fs.Params().PageSize
+	want := make(map[int64][]byte)
+	for p := int64(0); p < 8; p++ {
+		data := bytes.Repeat([]byte{byte(p + 1)}, int(ps))
+		f.SetPage(p, data)
+		want[p] = data
+	}
+	got := map[int64][]byte{}
+	buf := func(p int64) []byte {
+		b := make([]byte, ps)
+		got[p] = b
+		return b
+	}
+	doneAt := sim.Time(-1)
+	f.Read(0, 8, disk.FaultRead, buf, nil, func() { doneAt = c.Now() })
+	c.Drain()
+	if doneAt < 0 {
+		t.Fatal("Read never completed")
+	}
+	for p := int64(0); p < 8; p++ {
+		if !bytes.Equal(got[p], want[p]) {
+			t.Fatalf("page %d content mismatch", p)
+		}
+	}
+}
+
+func TestReadZeroFillsUnwrittenPages(t *testing.T) {
+	c, fs := newFS()
+	f, _ := fs.Create("f", 2)
+	buf := make([]byte, fs.Params().PageSize)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	f.Read(1, 1, disk.FaultRead, func(int64) []byte { return buf }, nil, nil)
+	c.Drain()
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten page not zero-filled")
+		}
+	}
+}
+
+func TestReadZeroPagesCompletesImmediately(t *testing.T) {
+	_, fs := newFS()
+	f, _ := fs.Create("f", 4)
+	done := false
+	f.Read(2, 0, disk.FaultRead, nil, nil, func() { done = true })
+	if !done {
+		t.Fatal("zero-length read did not complete synchronously")
+	}
+}
+
+func TestBlockReadCoalescesPerDisk(t *testing.T) {
+	c, fs := newFS()
+	f, _ := fs.Create("f", 64)
+	nd := fs.Params().NumDisks
+	ps := fs.Params().PageSize
+	buf := make([]byte, ps)
+	// Read 2×NumDisks contiguous pages: each disk should see exactly one
+	// request of two pages.
+	f.Read(0, int64(2*nd), disk.PrefetchRead, func(int64) []byte { return buf }, nil, nil)
+	c.Drain()
+	for i, d := range fs.Disks() {
+		s := d.Stats()
+		if s.Requests[disk.PrefetchRead] != 1 {
+			t.Fatalf("disk %d saw %d requests, want 1 (coalescing)", i, s.Requests[disk.PrefetchRead])
+		}
+		if s.Pages[disk.PrefetchRead] != 2 {
+			t.Fatalf("disk %d moved %d pages, want 2", i, s.Pages[disk.PrefetchRead])
+		}
+	}
+}
+
+func TestStripingParallelism(t *testing.T) {
+	// Reading NumDisks pages striped across all disks should take about
+	// as long as reading one page, not NumDisks times as long.
+	p := hw.Scaled(8 << 20)
+	oneDisk := p
+	oneDisk.NumDisks = 1
+
+	elapsed := func(pp hw.Params, n int64) sim.Time {
+		c := sim.NewClock()
+		fs := New(c, pp, nil)
+		f, _ := fs.Create("f", 64)
+		buf := make([]byte, pp.PageSize)
+		// n independent one-page reads, as a stream of prefetches would be.
+		for i := int64(0); i < n; i++ {
+			f.Read(i, 1, disk.FaultRead, func(int64) []byte { return buf }, nil, nil)
+		}
+		c.Drain()
+		return c.Now()
+	}
+	striped := elapsed(p, int64(p.NumDisks))
+	serial := elapsed(oneDisk, int64(p.NumDisks))
+	if striped*2 >= serial {
+		t.Fatalf("striped read %v not substantially faster than single-disk %v", striped, serial)
+	}
+}
+
+func TestWritePersists(t *testing.T) {
+	c, fs := newFS()
+	f, _ := fs.Create("f", 4)
+	ps := fs.Params().PageSize
+	src := bytes.Repeat([]byte{0xAB}, int(ps))
+	done := false
+	f.Write(3, src, func() { done = true })
+	// Source can be reused immediately: the write captured a copy.
+	for i := range src {
+		src[i] = 0
+	}
+	c.Drain()
+	if !done {
+		t.Fatal("write never completed")
+	}
+	got := f.PeekPage(3)
+	if got == nil || got[0] != 0xAB {
+		t.Fatal("write did not persist captured data")
+	}
+	if fs.Disks()[f.DiskOf(3)].Stats().Requests[disk.Write] != 1 {
+		t.Fatal("write request not accounted on the right disk")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	_, fs := newFS()
+	f, _ := fs.Create("f", 4)
+	for _, fn := range []func(){
+		func() { f.SetPage(4, nil) },
+		func() { f.SetPage(-1, nil) },
+		func() { f.Read(3, 2, disk.FaultRead, nil, nil, nil) },
+		func() { f.Write(99, make([]byte, fs.Params().PageSize), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: a write followed by a read of the same page returns exactly
+// the written bytes, for arbitrary page indices and contents.
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	p := hw.Scaled(8 << 20)
+	f := func(pageSel uint8, fill byte) bool {
+		c := sim.NewClock()
+		fs := New(c, p, nil)
+		file, _ := fs.Create("f", 32)
+		page := int64(pageSel % 32)
+		src := bytes.Repeat([]byte{fill}, int(p.PageSize))
+		file.Write(page, src, nil)
+		c.Drain()
+		got := make([]byte, p.PageSize)
+		file.Read(page, 1, disk.FaultRead, func(int64) []byte { return got }, nil, nil)
+		c.Drain()
+		return bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package vm
+
+// BitVector is the single physical page the OS shares with a registered
+// application (§2.4 of the paper). Each bit summarizes the residency of
+// one or more contiguous virtual pages: set means "believed in memory".
+// Bits are set by the run-time layer when it issues a prefetch and by the
+// OS when a non-prefetched fault completes; the OS clears them on release
+// and when the memory manager reclaims pages.
+//
+// When a bit covers more than one page (large address spaces) the vector
+// is only a conservative hint, exactly as in the paper: the run-time layer
+// may then filter a prefetch whose page is absent (a later fault corrects
+// it) or pass through one whose page is resident (the OS drops it).
+type BitVector struct {
+	bits        []uint64
+	pagesPerBit int64
+}
+
+// bitVectorBytes is the size of the shared page: one 4 KB physical page,
+// i.e. 32768 bits.
+const bitVectorBytes = 4096
+
+// newBitVector sizes the vector for an address space of totalPages,
+// choosing the smallest granularity (pages per bit) that fits the shared
+// page, as the run-time layer does at registration.
+func newBitVector(totalPages int64) *BitVector {
+	maxBits := int64(bitVectorBytes * 8)
+	ppb := (totalPages + maxBits - 1) / maxBits
+	if ppb < 1 {
+		ppb = 1
+	}
+	nbits := (totalPages + ppb - 1) / ppb
+	return &BitVector{
+		bits:        make([]uint64, (nbits+63)/64),
+		pagesPerBit: ppb,
+	}
+}
+
+// PagesPerBit returns the granularity chosen at registration.
+func (b *BitVector) PagesPerBit() int64 { return b.pagesPerBit }
+
+// Set marks the bit covering page as resident.
+func (b *BitVector) Set(page int64) {
+	i := page / b.pagesPerBit
+	b.bits[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear marks the bit covering page as not resident.
+func (b *BitVector) Clear(page int64) {
+	i := page / b.pagesPerBit
+	b.bits[i>>6] &^= 1 << uint(i&63)
+}
+
+// Get reports whether the bit covering page is set.
+func (b *BitVector) Get(page int64) bool {
+	i := page / b.pagesPerBit
+	return b.bits[i>>6]&(1<<uint(i&63)) != 0
+}

@@ -1,0 +1,144 @@
+package vm
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/disk"
+)
+
+// Load reads the 8-byte word at addr, faulting the page in if necessary.
+// This is the application's view of memory: a plain load against unlimited
+// virtual memory.
+func (v *VM) Load(addr int64) uint64 {
+	page := addr >> v.pageShift
+	e := &v.pt[page]
+	if e.state != resident || !e.touched {
+		v.touchSlow(page)
+	}
+	e.referenced = true
+	off := addr & v.pageMask
+	return binary.LittleEndian.Uint64(v.frameData(e.frame)[off:])
+}
+
+// Store writes the 8-byte word at addr, faulting the page in if necessary
+// and marking it dirty.
+func (v *VM) Store(addr int64, word uint64) {
+	page := addr >> v.pageShift
+	e := &v.pt[page]
+	if e.state != resident || !e.touched {
+		v.touchSlow(page)
+	}
+	e.referenced = true
+	e.dirty = true
+	off := addr & v.pageMask
+	binary.LittleEndian.PutUint64(v.frameData(e.frame)[off:], word)
+}
+
+// LoadF64 reads a float64 at addr.
+func (v *VM) LoadF64(addr int64) float64 { return math.Float64frombits(v.Load(addr)) }
+
+// StoreF64 writes a float64 at addr.
+func (v *VM) StoreF64(addr int64, val float64) { v.Store(addr, math.Float64bits(val)) }
+
+// LoadI64 reads an int64 at addr.
+func (v *VM) LoadI64(addr int64) int64 { return int64(v.Load(addr)) }
+
+// StoreI64 writes an int64 at addr.
+func (v *VM) StoreI64(addr int64, val int64) { v.Store(addr, uint64(val)) }
+
+// Resident reports whether a page is currently mapped and usable without
+// a stall (used by tests and the warm-start path).
+func (v *VM) Resident(page int64) bool { return v.pt[page].state == resident }
+
+// touchSlow handles every access that is not a hot hit: first touches of
+// a new residency (classification), reclaim (minor) faults, stalls on
+// in-flight reads, and demand (major) faults. It loops until the page is
+// resident, because servicing a fault advances simulated time, during
+// which the page may arrive and even be evicted again under memory
+// pressure.
+func (v *VM) touchSlow(page int64) {
+	e := &v.pt[page]
+
+	// First touch of an already-resident page: if a prefetch brought it
+	// in, the original fault was fully hidden.
+	if e.state == resident {
+		if e.prefetched {
+			v.stats.PrefetchedHits++
+			e.prefetched = false
+		}
+		e.touched = true
+		return
+	}
+
+	v.flushUser()
+	classified := false
+	classifyFault := func() {
+		// The touch turned out to be a real (major) fault: either a
+		// prefetch did not do its job or there was none.
+		if classified {
+			return
+		}
+		classified = true
+		v.stats.MajorFaults++
+		if e.prefetched {
+			v.stats.PrefetchedFaults++
+		} else {
+			v.stats.NonPrefetchedFault++
+		}
+		e.prefetched = false
+	}
+
+	for e.state != resident {
+		switch e.state {
+		case freeListed:
+			// Reclaim fault: the page is still in memory on the free
+			// list; rescuing it costs a short kernel entry but no I/O.
+			v.chargeSys(&v.t.SysFault, v.p.MinorFaultTime)
+			v.stats.MinorFaults++
+			v.rescueFromFree(e.frame)
+			e.state = resident
+			if !classified && !e.touched && e.prefetched {
+				v.stats.PrefetchedHits++
+				classified = true
+			}
+			e.prefetched = false
+
+		case inTransit:
+			// A read is in flight but did not complete early enough:
+			// take the fault and stall for the remainder.
+			v.chargeSys(&v.t.SysFault, v.p.FaultServiceTime)
+			classifyFault()
+			v.t.Idle += v.clock.WaitFor(func() bool { return e.state != inTransit })
+
+		case unmapped:
+			// Demand (major) fault: the full disk latency is exposed.
+			v.chargeSys(&v.t.SysFault, v.p.FaultServiceTime)
+			classifyFault()
+			f, _ := v.takeFrame(page, false)
+			e.frame = f
+			e.state = inTransit
+			v.inTransitCount++
+			v.bitvec.Set(page)
+			v.file.Read(page, 1, disk.FaultRead,
+				func(int64) []byte { return v.frameData(f) },
+				func(p int64) { v.finishRead(p) },
+				nil)
+			v.t.Idle += v.clock.WaitFor(func() bool { return e.state != inTransit })
+		}
+	}
+	e.touched = true
+	e.referenced = true
+	v.bitvec.Set(page)
+}
+
+// finishRead marks an in-flight page as resident once its data has been
+// copied into its frame.
+func (v *VM) finishRead(page int64) {
+	e := &v.pt[page]
+	if e.state == inTransit {
+		e.state = resident
+		v.inTransitCount--
+		v.ioGen++
+	}
+}

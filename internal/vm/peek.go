@@ -1,0 +1,32 @@
+package vm
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Peek reads the 8-byte word at addr without simulated cost, page faults,
+// or statistics. It is instrumentation: result validation and workload
+// seeding use it; applications never do. The value returned is the current
+// one wherever it lives — frame memory if the page is mapped, otherwise
+// the backing file.
+func (v *VM) Peek(addr int64) uint64 {
+	page := addr >> v.pageShift
+	off := addr & v.pageMask
+	e := &v.pt[page]
+	switch e.state {
+	case resident, freeListed:
+		return binary.LittleEndian.Uint64(v.frameData(e.frame)[off:])
+	default:
+		if src := v.file.PeekPage(page); src != nil {
+			return binary.LittleEndian.Uint64(src[off:])
+		}
+		return 0
+	}
+}
+
+// PeekF64 reads a float64 without simulated cost.
+func (v *VM) PeekF64(addr int64) float64 { return math.Float64frombits(v.Peek(addr)) }
+
+// PeekI64 reads an int64 without simulated cost.
+func (v *VM) PeekI64(addr int64) int64 { return int64(v.Peek(addr)) }

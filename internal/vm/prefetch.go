@@ -1,0 +1,209 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// maxPrefetchQueue is the per-disk queue depth beyond which the OS drops
+// prefetch hints rather than bury demand faults behind them.
+const maxPrefetchQueue = 12
+
+// PrefetchRelease is the bundled system call of Figure 2: prefetch pages
+// [pfPage, pfPage+pfN) and release pages [relPage, relPage+relN) in one
+// kernel crossing. Either range may be empty. Both hints are non-binding:
+// prefetches are dropped when no memory is free, and releases of absent
+// pages are no-ops.
+func (v *VM) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
+	v.checkRange(pfPage, pfN)
+	v.checkRange(relPage, relN)
+	v.flushUser()
+	cost := v.p.PrefetchSyscallTime + sim.Time(relN)*v.p.ReleasePerPageTime
+	v.chargeSys(&v.t.SysPrefetch, cost)
+	v.stats.PrefetchCalls++
+	if relN > 0 {
+		v.stats.ReleaseCalls++
+	}
+
+	// Releases first: they may free exactly the memory the prefetches in
+	// the same call need.
+	for p := relPage; p < relPage+relN; p++ {
+		v.releaseOne(p)
+	}
+
+	// Issue prefetch reads, coalescing contiguous runs so a block
+	// prefetch becomes at most one request per disk.
+	runStart := int64(-1)
+	flush := func(end int64) {
+		if runStart < 0 {
+			return
+		}
+		start := runStart
+		runStart = -1
+		v.file.Read(start, end-start, disk.PrefetchRead,
+			func(p int64) []byte { return v.frameData(v.pt[p].frame) },
+			func(p int64) { v.finishRead(p) },
+			nil)
+	}
+	for p := pfPage; p < pfPage+pfN; p++ {
+		if v.prefetchOne(p) {
+			if runStart < 0 {
+				runStart = p
+			}
+		} else {
+			flush(p)
+		}
+	}
+	flush(pfPage + pfN)
+}
+
+// Prefetch is the prefetch-only form of the system call.
+func (v *VM) Prefetch(page, n int64) { v.PrefetchRelease(page, n, 0, 0) }
+
+// Release is the release-only form of the system call.
+func (v *VM) Release(page, n int64) { v.PrefetchRelease(0, 0, page, n) }
+
+func (v *VM) checkRange(page, n int64) {
+	if n == 0 {
+		return
+	}
+	if page < 0 || n < 0 || page+n > v.file.Pages() {
+		panic(fmt.Sprintf("vm: hint range [%d,%d) outside address space of %d pages",
+			page, page+n, v.file.Pages()))
+	}
+}
+
+// prefetchOne processes a single page of a prefetch hint and reports
+// whether a disk read must be started for it.
+func (v *VM) prefetchOne(p int64) bool {
+	e := &v.pt[p]
+	v.stats.PrefetchPagesSeen++
+	switch e.state {
+	case resident:
+		if e.cleaning && e.toFree && !e.front {
+			e.toFree = false // cancel a pending daemon eviction
+		}
+		v.stats.PrefetchUnneeded++
+	case inTransit:
+		v.stats.PrefetchUnneeded++
+	case freeListed:
+		// The page is in memory but on the free list: reclaiming it is
+		// useful work (the paper's footnote), not an unnecessary prefetch.
+		v.rescueFromFree(e.frame)
+		e.state = resident
+		e.prefetched = true
+		e.touched = false
+		v.stats.PrefetchRescues++
+		v.bitvec.Set(p)
+	case unmapped:
+		// Hints are non-binding: the OS drops them "if there is not
+		// enough physical memory to buffer prefetched data, or if the
+		// disk subsystem is overloaded" (§2.2.1). A dropped page's
+		// residency bit is cleared so the run-time layer does not
+		// believe a stale hint.
+		if v.file.QueueLenOf(p) > maxPrefetchQueue {
+			v.stats.PrefetchDropped++
+			e.prefetched = true
+			v.bitvec.Clear(p)
+			return false
+		}
+		if v.freeCount <= 2 {
+			v.stats.PrefetchDropped++
+			e.prefetched = true
+			v.bitvec.Clear(p)
+			return false
+		}
+		f, ok := v.takeFrame(p, true)
+		if !ok {
+			v.stats.PrefetchDropped++
+			e.prefetched = true
+			v.bitvec.Clear(p)
+			return false
+		}
+		e.frame = f
+		e.state = inTransit
+		v.inTransitCount++
+		e.prefetched = true
+		e.touched = false
+		v.stats.PrefetchIssued++
+		v.bitvec.Set(p)
+		return true
+	}
+	return false
+}
+
+// releaseOne processes a single page of a release hint: clear its
+// residency bit and make its frame the next victim, writing it back first
+// if dirty.
+func (v *VM) releaseOne(p int64) {
+	e := &v.pt[p]
+	v.stats.ReleasedPages++
+	v.bitvec.Clear(p)
+	if e.state != resident {
+		return // absent, in flight, or already free-listed: nothing to do
+	}
+	e.referenced = false
+	if e.cleaning {
+		e.toFree = true
+		e.front = true
+		return
+	}
+	if e.dirty {
+		v.startClean(p, true, true)
+		return
+	}
+	e.state = freeListed
+	v.pushFreeFront(e.frame)
+}
+
+// Preload installs the backing contents of pages [page, page+n) directly
+// into frames with no simulated cost, for warm-started experiments. It
+// reports how many pages were installed (it stops when memory fills to the
+// high watermark).
+func (v *VM) Preload(page, n int64) int64 {
+	v.checkRange(page, n)
+	var loaded int64
+	for p := page; p < page+n; p++ {
+		if v.freeCount <= v.p.HighWater() {
+			break
+		}
+		e := &v.pt[p]
+		if e.state != unmapped {
+			loaded++
+			continue
+		}
+		f, ok := v.takeFrame(p, true)
+		if !ok {
+			break
+		}
+		buf := v.frameData(f)
+		if src := v.file.PeekPage(p); src != nil {
+			copy(buf, src)
+		} else {
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+		e.frame = f
+		e.state = resident
+		e.touched = true
+		e.referenced = true
+		v.bitvec.Set(p)
+		loaded++
+	}
+	return loaded
+}
+
+// ResetAccounting zeroes the time breakdown, event counters, and the
+// free-memory integral. Experiments call it after warm-up so that only the
+// timed region is measured.
+func (v *VM) ResetAccounting() {
+	v.flushUser()
+	v.t = TimeStats{}
+	v.stats = Stats{}
+	v.freeIntegral = 0
+	v.lastFreeSample = v.clock.Now()
+	v.accountingStart = v.clock.Now()
+}

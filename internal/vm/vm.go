@@ -1,0 +1,361 @@
+// Package vm implements the operating-system half of the paper: a paged
+// virtual memory system extended with non-binding prefetch and release
+// hints. The application sees a flat virtual address space backed by a
+// striped file ("mapped file I/O": the data comes from disk). Demand
+// faults stall the application for the full disk latency; prefetch hints
+// start asynchronous reads and are dropped when no memory is free; release
+// hints unmap pages (writing them back if dirty) and put their frames at
+// the head of the free list; a pageout daemon with a clock (second-chance)
+// hand keeps the free list stocked; and a bit-vector page shared with the
+// run-time layer tracks believed residency.
+package vm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stripefs"
+)
+
+// pageState is the residency state of one virtual page.
+type pageState uint8
+
+const (
+	// unmapped: not in memory; a touch is a major fault.
+	unmapped pageState = iota
+	// inTransit: a disk read (fault or prefetch) is in flight.
+	inTransit
+	// resident: mapped to a frame holding valid data.
+	resident
+	// freeListed: still mapped and holding valid data, but on the free
+	// list — reclaimable at any moment, rescuable by a touch or prefetch.
+	freeListed
+)
+
+// pte is a page-table entry. The classification flags implement the
+// Figure 4(a) accounting described in stats.go.
+type pte struct {
+	state      pageState
+	frame      int32
+	dirty      bool
+	referenced bool
+	cleaning   bool // write-back in flight for this page's frame
+	toFree     bool // after cleaning completes, move to the free list
+	front      bool // ...at the head of the free list (release path)
+	touched    bool // accessed since this residency began
+	prefetched bool // a prefetch targeted the current/upcoming residency
+}
+
+// frameInfo describes one physical page frame.
+type frameInfo struct {
+	vpage  int64 // current mapping, -1 if none
+	onFree bool  // currently a member of the free queue
+}
+
+// VM is one simulated address space plus the memory manager behind it.
+type VM struct {
+	clock *sim.Clock
+	p     hw.Params
+	file  *stripefs.File
+
+	pageShift uint
+	pageMask  int64
+
+	pt     []pte
+	frames []frameInfo
+	data   []byte // frame storage, p.Frames() × PageSize
+
+	// Free queue: a growable ring buffer of frame indices. Entries whose
+	// frame has onFree == false are stale and skipped on pop (lazy
+	// deletion); the ring grows when stale entries pile up.
+	freeQ     []int32
+	freeHead  int
+	freeTail  int
+	freeSlots int   // occupied slots, live + stale
+	freeCount int64 // live entries
+
+	hand int32 // clock-algorithm hand over frames
+
+	daemonScheduled bool
+	cleaningCount   int64  // write-backs in flight
+	inTransitCount  int64  // reads in flight
+	ioGen           uint64 // bumped on every I/O completion
+
+	// Lazy user-time accounting: the executor adds op counts; they are
+	// converted to clock time at every kernel crossing.
+	pendingUserOps int64
+
+	bitvec *BitVector
+
+	t     TimeStats
+	stats Stats
+
+	// Time-weighted free-frame integral for Table 3's "% memory free".
+	freeIntegral    float64
+	lastFreeSample  sim.Time
+	accountingStart sim.Time
+
+	// Allocation bump pointer, in pages.
+	allocPages int64
+	regions    []Region
+}
+
+// Region records one named allocation in the address space.
+type Region struct {
+	Name  string
+	Base  int64 // byte address of the first page
+	Bytes int64
+	Pages int64
+}
+
+// New creates a virtual memory system of p.Frames() frames over the given
+// backing file. The virtual address space is the file: file page i is
+// virtual page i.
+func New(clock *sim.Clock, p hw.Params, file *stripefs.File) *VM {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	nf := p.Frames()
+	v := &VM{
+		clock:     clock,
+		p:         p,
+		file:      file,
+		pageShift: uint(bits.TrailingZeros64(uint64(p.PageSize))),
+		pageMask:  p.PageSize - 1,
+		pt:        make([]pte, file.Pages()),
+		frames:    make([]frameInfo, nf),
+		data:      make([]byte, nf*p.PageSize),
+		freeQ:     make([]int32, nf+1),
+	}
+	for i := range v.pt {
+		v.pt[i].frame = -1
+	}
+	for i := range v.frames {
+		v.frames[i].vpage = -1
+	}
+	// All frames start free (with no content).
+	for i := int32(0); i < int32(nf); i++ {
+		v.pushFreeBack(i)
+	}
+	v.bitvec = newBitVector(file.Pages())
+	return v
+}
+
+// Params returns the hardware parameters.
+func (v *VM) Params() hw.Params { return v.p }
+
+// Clock returns the simulated clock.
+func (v *VM) Clock() *sim.Clock { return v.clock }
+
+// BitVector returns the shared residency page (the run-time layer calls
+// this at registration).
+func (v *VM) BitVector() *BitVector { return v.bitvec }
+
+// Stats returns a snapshot of the event counters.
+func (v *VM) Stats() Stats { return v.stats }
+
+// Times returns a snapshot of the time breakdown, with any pending user
+// compute folded in.
+func (v *VM) Times() TimeStats {
+	t := v.t
+	t.User += sim.Time(v.pendingUserOps) * v.p.OpTime
+	return t
+}
+
+// FreeFrames returns the current number of frames on the free list.
+func (v *VM) FreeFrames() int64 { return v.freeCount }
+
+// AvgFreeFrac returns the time-averaged fraction of memory on the free
+// list since accounting began (Table 3).
+func (v *VM) AvgFreeFrac() float64 {
+	now := v.clock.Now()
+	elapsed := now - v.accountingStart
+	if elapsed == 0 {
+		return float64(v.freeCount) / float64(len(v.frames))
+	}
+	integ := v.freeIntegral + float64(v.freeCount)*float64(now-v.lastFreeSample)
+	return integ / (float64(elapsed) * float64(len(v.frames)))
+}
+
+// Alloc reserves a page-aligned region of the address space. Array data
+// structures of the application live in these regions.
+func (v *VM) Alloc(name string, bytes int64) (base int64, err error) {
+	pages := v.p.PagesOf(bytes)
+	if v.allocPages+pages > v.file.Pages() {
+		return 0, fmt.Errorf("vm: allocating %q (%d pages) exceeds address space (%d of %d pages used)",
+			name, pages, v.allocPages, v.file.Pages())
+	}
+	base = v.allocPages * v.p.PageSize
+	v.regions = append(v.regions, Region{Name: name, Base: base, Bytes: bytes, Pages: pages})
+	v.allocPages += pages
+	return base, nil
+}
+
+// Regions returns the allocated regions in allocation order.
+func (v *VM) Regions() []Region { return v.regions }
+
+// AllocatedPages returns the number of pages allocated so far.
+func (v *VM) AllocatedPages() int64 { return v.allocPages }
+
+// PageOf returns the virtual page containing a byte address.
+func (v *VM) PageOf(addr int64) int64 { return addr >> v.pageShift }
+
+// AddUserOps charges n machine operations of user compute. The time is
+// accumulated lazily and folded into the clock at the next kernel
+// crossing, which keeps the per-element fast path cheap.
+func (v *VM) AddUserOps(n int64) { v.pendingUserOps += n }
+
+// AddUserTime charges explicit user-mode time (used by the run-time layer
+// for its bit-vector checks).
+func (v *VM) AddUserTime(t sim.Time) { v.pendingUserOps += int64(t) / int64(v.p.OpTime) }
+
+// flushUser converts pending user ops into simulated time. Every kernel
+// entry calls it first so that event ordering is correct.
+func (v *VM) flushUser() {
+	if v.pendingUserOps == 0 {
+		return
+	}
+	t := sim.Time(v.pendingUserOps) * v.p.OpTime
+	v.pendingUserOps = 0
+	v.t.User += t
+	v.clock.Advance(t)
+}
+
+func (v *VM) chargeSys(bucket *sim.Time, t sim.Time) {
+	*bucket += t
+	v.clock.Advance(t)
+}
+
+// ---- free-queue bookkeeping -------------------------------------------
+
+func (v *VM) sampleFree() {
+	now := v.clock.Now()
+	v.freeIntegral += float64(v.freeCount) * float64(now-v.lastFreeSample)
+	v.lastFreeSample = now
+}
+
+func (v *VM) pushFreeBack(f int32) {
+	if v.frames[f].onFree {
+		return
+	}
+	v.sampleFree()
+	v.growFreeQ()
+	v.frames[f].onFree = true
+	v.freeQ[v.freeTail] = f
+	v.freeTail = (v.freeTail + 1) % len(v.freeQ)
+	v.freeSlots++
+	v.freeCount++
+}
+
+// pushFreeFront puts a frame at the head of the free queue, so it is
+// reused first — this is what release does ("a good candidate for
+// replacement").
+func (v *VM) pushFreeFront(f int32) {
+	if v.frames[f].onFree {
+		return
+	}
+	v.sampleFree()
+	v.growFreeQ()
+	v.frames[f].onFree = true
+	v.freeHead = (v.freeHead - 1 + len(v.freeQ)) % len(v.freeQ)
+	v.freeQ[v.freeHead] = f
+	v.freeSlots++
+	v.freeCount++
+}
+
+// growFreeQ makes room for one more entry, compacting stale slots away
+// when the ring fills.
+func (v *VM) growFreeQ() {
+	if v.freeSlots+1 < len(v.freeQ) {
+		return
+	}
+	live := make([]int32, 0, v.freeCount)
+	for v.freeHead != v.freeTail {
+		f := v.freeQ[v.freeHead]
+		v.freeHead = (v.freeHead + 1) % len(v.freeQ)
+		if v.frames[f].onFree {
+			live = append(live, f)
+		}
+	}
+	if len(live)+1 >= len(v.freeQ) {
+		v.freeQ = make([]int32, 2*len(v.freeQ))
+	}
+	copy(v.freeQ, live)
+	v.freeHead = 0
+	v.freeTail = len(live)
+	v.freeSlots = len(live)
+}
+
+// popFree removes and returns the next free frame, skipping stale entries.
+// It reports false when the free list is empty.
+func (v *VM) popFree() (int32, bool) {
+	for v.freeHead != v.freeTail {
+		f := v.freeQ[v.freeHead]
+		v.freeHead = (v.freeHead + 1) % len(v.freeQ)
+		v.freeSlots--
+		if v.frames[f].onFree {
+			v.sampleFree()
+			v.frames[f].onFree = false
+			v.freeCount--
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// rescueFromFree takes a specific frame off the free queue (lazy removal).
+func (v *VM) rescueFromFree(f int32) {
+	if !v.frames[f].onFree {
+		panic("vm: rescue of frame not on free list")
+	}
+	v.sampleFree()
+	v.frames[f].onFree = false
+	v.freeCount--
+}
+
+// frameData returns the storage of frame f.
+func (v *VM) frameData(f int32) []byte {
+	off := int64(f) * v.p.PageSize
+	return v.data[off : off+v.p.PageSize]
+}
+
+// ---- frame allocation ---------------------------------------------------
+
+// takeFrame obtains a free frame for vpage, evicting synchronously if the
+// free list is empty (the demand-fault path). It returns false only in
+// mayFail mode (the prefetch path, where the paper's OS simply drops the
+// request when all memory is in use).
+func (v *VM) takeFrame(vpage int64, mayFail bool) (int32, bool) {
+	for {
+		if f, ok := v.popFree(); ok {
+			if old := v.frames[f].vpage; old >= 0 {
+				v.invalidate(old)
+				v.stats.Reclaims++
+			}
+			v.frames[f].vpage = vpage
+			if v.freeCount < v.p.LowWater() {
+				v.kickDaemon()
+			}
+			return f, true
+		}
+		if mayFail {
+			return 0, false
+		}
+		v.syncReclaim()
+	}
+}
+
+// invalidate severs a page's mapping when its frame is reused.
+func (v *VM) invalidate(page int64) {
+	e := &v.pt[page]
+	if e.dirty {
+		panic(fmt.Sprintf("vm: reusing frame of dirty page %d", page))
+	}
+	e.state = unmapped
+	e.frame = -1
+	e.touched = false
+	e.referenced = false
+	v.bitvec.Clear(page)
+}

@@ -1,0 +1,84 @@
+package oocp_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	oocp "repro"
+)
+
+// Every kernel in the examples corpus must parse, compile with at least
+// one prefetch inserted, and run correctly both with and without
+// prefetching on an out-of-core machine.
+func TestKernelCorpus(t *testing.T) {
+	files, err := filepath.Glob("examples/kernels/*.loop")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no kernel corpus found: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parse := func() *oocp.Program {
+				p, err := oocp.ParseProgram(string(src))
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				return p
+			}
+			prog := parse()
+			machine := oocp.DefaultMachine()
+			if err := prog.Resolve(machine.PageSize); err != nil {
+				t.Fatal(err)
+			}
+			machine = oocp.MachineFor(oocp.DataBytes(prog, machine.PageSize), 2)
+
+			res, err := oocp.Compile(prog, machine, oocp.DefaultCompilerOptions())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if !strings.Contains(oocp.PrintProgram(res.Prog), "prefetch") {
+				t.Fatal("no prefetches inserted for an out-of-core kernel")
+			}
+
+			seed := oocp.Seeder(map[string]func(int64) float64{
+				"A": func(i int64) float64 { return float64(i%11) / 3 },
+				"B": func(i int64) float64 { return float64(i%7) / 5 },
+				"x": func(i int64) float64 { return float64(i % 5) },
+			}, map[string]func(int64) int64{
+				"sample": func(i int64) int64 { return (i*2654435761 + 7) & ((1 << 30) - 1) },
+			})
+
+			run := func(prefetch bool) *oocp.Result {
+				cfg := oocp.DefaultConfig(machine)
+				cfg.Prefetch = prefetch
+				cfg.Seed = seed
+				r, err := oocp.Run(parse(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			if testing.Short() {
+				return // compile-only in short mode
+			}
+			o := run(false)
+			p := run(true)
+			// Results identical: checksum the first array.
+			arr := prog.Arrays[len(prog.Arrays)-1]
+			for _, i := range []int64{0, 1, arr.Elems / 2, arr.Elems - 1} {
+				if oocp.Peek(o, arr.Name, i) != oocp.Peek(p, arr.Name, i) {
+					t.Fatalf("%s[%d] differs between O and P runs", arr.Name, i)
+				}
+			}
+			if p.Elapsed >= o.Elapsed {
+				t.Errorf("prefetching lost on %s: O=%v P=%v", f, o.Elapsed, p.Elapsed)
+			}
+		})
+	}
+}
