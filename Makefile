@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race bench
+
+# ci is the gate: formatting, static checks, build, tests, and the
+# race-detector pass over the concurrent experiment runner.
+ci: fmt-check vet build test race
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment runner is the concurrent surface; run it (and the
+# packages it drives) under the race detector.
+race:
+	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/core/... .
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

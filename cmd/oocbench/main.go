@@ -4,26 +4,75 @@
 //
 //	oocbench [-exp all|table1|table2|fig3|fig4|fig5|table3|fig6|fig7|fig8|ablate]
 //	         [-scale F] [-ratio F] [-mem MB]
+//	         [-parallel N] [-timeout D] [-progress]
 //
 // -scale multiplies every application's problem size (1 = standard);
 // -ratio overrides the data:memory ratio (0 = each app's standard);
 // -mem sets the Figure 8 machine memory in MB.
+//
+// Experiment runs fan out across a worker pool: -parallel sets its size
+// (0 = GOMAXPROCS), -timeout bounds each simulated run's wall-clock
+// time, and -progress reports per-run completions on stderr. Results
+// are collected by index, so parallel output is byte-identical to a
+// serial run; Ctrl-C cancels in-flight runs cleanly. Sub-figure names
+// (fig3a, fig4b, ...) are accepted as aliases for their figure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	oocp "repro"
 )
+
+// expAlias maps sub-figure names (as DESIGN.md's experiment index uses)
+// to the experiment that regenerates them.
+var expAlias = map[string]string{
+	"fig3a": "fig3", "fig3b": "fig3",
+	"fig4a": "fig4", "fig4b": "fig4", "fig4c": "fig4",
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig3, fig4, fig5, table3, fig6, fig7, fig8, ablate)")
 	scale := flag.Float64("scale", 1.0, "problem-size multiplier")
 	ratio := flag.Float64("ratio", 0, "data:memory ratio (0 = per-app standard)")
 	memMB := flag.Float64("mem", 6, "Figure 8 machine memory, MB")
+	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
+	progress := flag.Bool("progress", false, "report per-run progress on stderr")
 	flag.Parse()
+
+	if alias, ok := expAlias[*exp]; ok {
+		*exp = alias
+	}
+	switch *exp {
+	case "all", "table1", "table2", "fig3", "fig4", "fig5", "table3", "fig6", "fig7", "fig8", "ablate":
+	default:
+		fmt.Fprintf(os.Stderr, "oocbench: unknown experiment %q (want all, table1, table2, fig3[a|b], fig4[a|b|c], fig5, table3, fig6, fig7, fig8, or ablate)\n", *exp)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var progressFn oocp.ProgressFunc
+	if *progress {
+		progressFn = func(p oocp.Progress) {
+			status := "ok"
+			switch {
+			case p.Job.TimedOut:
+				status = "TIMEOUT"
+			case p.Job.Err != nil:
+				status = "ERROR"
+			}
+			fmt.Fprintf(os.Stderr, "oocbench: [%3d/%3d] %-16s %8.2fs  %s\n",
+				p.Done, p.Total, p.Job.Label, p.Job.Wall.Seconds(), status)
+		}
+	}
+	runner := oocp.Runner{Parallelism: *parallel, Timeout: *timeout, Progress: progressFn}
 
 	w := os.Stdout
 	fail := func(err error) {
@@ -51,7 +100,14 @@ func main() {
 	}
 	if needSuite() {
 		fmt.Fprintln(w, "running the NAS suite (original, prefetching, and no-run-time-layer)...")
-		rs, err := oocp.RunSuite(*scale, *ratio, true)
+		rs, err := oocp.RunSuiteContext(ctx, oocp.SuiteOptions{
+			Scale:       *scale,
+			Ratio:       *ratio,
+			WithNoRT:    true,
+			Parallelism: *parallel,
+			Timeout:     *timeout,
+			Progress:    progressFn,
+		})
 		fail(err)
 		fmt.Fprintln(w)
 		if *exp == "all" || *exp == "fig3" {
@@ -72,18 +128,18 @@ func main() {
 		}
 	}
 	if *exp == "all" || *exp == "fig6" {
-		fail(oocp.Fig6(w, *scale))
+		fail(oocp.Fig6Context(ctx, w, *scale, runner))
 		fmt.Fprintln(w)
 	}
 	if *exp == "all" || *exp == "fig7" {
-		fail(oocp.Fig7(w, *scale))
+		fail(oocp.Fig7Context(ctx, w, *scale, runner))
 		fmt.Fprintln(w)
 	}
 	if *exp == "all" || *exp == "fig8" {
-		fail(oocp.Fig8(w, int64(*memMB*(1<<20))))
+		fail(oocp.Fig8Context(ctx, w, int64(*memMB*(1<<20)), runner))
 		fmt.Fprintln(w)
 	}
 	if *exp == "all" || *exp == "ablate" {
-		fail(oocp.AblateAll(w, *scale))
+		fail(oocp.AblateAllContext(ctx, w, *scale, runner))
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -9,23 +10,48 @@ import (
 	"repro/internal/nas"
 )
 
+// ablatePair runs the two configurations of an A/B ablation as
+// independent jobs and returns them in (a, b) order.
+func ablatePair(ctx context.Context, r Runner, app *nas.App, scale float64,
+	aLabel string, aMutate func(*core.Config),
+	bLabel string, bMutate func(*core.Config)) (a, b *AppResult, err error) {
+
+	jobs := []Job{
+		{Label: app.Name + "/" + aLabel, Run: func(ctx context.Context) error {
+			res, err := runAppJob(ctx, app, scale, 0, aMutate)
+			a = res
+			return err
+		}},
+		{Label: app.Name + "/" + bLabel, Run: func(ctx context.Context) error {
+			res, err := runAppJob(ctx, app, scale, 0, bMutate)
+			b = res
+			return err
+		}},
+	}
+	if _, err := r.Run(ctx, jobs); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
 // AblateTwoVersion runs APPBT with and without the two-version-loop
 // extension (§4.1.1's proposed fix for symbolic inner bounds) and prints
 // the coverage and speedup recovery.
 func AblateTwoVersion(w io.Writer, scale float64) error {
+	return AblateTwoVersionContext(context.Background(), w, scale, Runner{})
+}
+
+// AblateTwoVersionContext is AblateTwoVersion with cancellation and a
+// configurable worker pool.
+func AblateTwoVersionContext(ctx context.Context, w io.Writer, scale float64, r Runner) error {
+	plain, fixed, err := ablatePair(ctx, r, nas.ByName("APPBT"), scale,
+		"plain", nil,
+		"two-version", func(cfg *core.Config) { cfg.Options = TwoVersionOptions() })
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Ablation: two-version loops (the paper's proposed fix for APPBT)")
 	fmt.Fprintln(w, "-----------------------------------------------------------------")
-	app := nas.ByName("APPBT")
-	plain, err := RunApp(app, scale, 0, false, nil)
-	if err != nil {
-		return err
-	}
-	fixed, err := RunApp(app, scale, 0, false, func(cfg *core.Config) {
-		cfg.Options = TwoVersionOptions()
-	})
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "  %-22s %10s %10s\n", "", "coverage", "speedup")
 	fmt.Fprintf(w, "  %-22s %9.1f%% %9.2fx\n", "APPBT (symbolic bm)",
 		plain.P.Mem.CoverageFactor()*100, plain.Speedup())
@@ -38,21 +64,42 @@ func AblateTwoVersion(w io.Writer, scale float64) error {
 // streaming application (the paper chose 4 "arbitrarily"; this shows the
 // tradeoff it embodies).
 func AblatePagesPerFetch(w io.Writer, scale float64) error {
+	return AblatePagesPerFetchContext(context.Background(), w, scale, Runner{})
+}
+
+// AblatePagesPerFetchContext is AblatePagesPerFetch with cancellation
+// and a configurable worker pool: every swept value is an independent
+// job.
+func AblatePagesPerFetchContext(ctx context.Context, w io.Writer, scale float64, r Runner) error {
+	app := nas.ByName("BUK")
+	ppfs := []int64{1, 2, 4, 8, 16}
+	out := make([]*AppResult, len(ppfs))
+	var jobs []Job
+	for i, ppf := range ppfs {
+		jobs = append(jobs, Job{
+			Label: fmt.Sprintf("BUK/ppf=%d", ppf),
+			Run: func(ctx context.Context) error {
+				opts := compiler.DefaultOptions()
+				opts.PagesPerFetch = ppf
+				res, err := runAppJob(ctx, app, scale, 0, func(cfg *core.Config) {
+					cfg.Options = &opts
+				})
+				out[i] = res
+				return err
+			},
+		})
+	}
+	if _, err := r.Run(ctx, jobs); err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, "Ablation: pages per block prefetch (BUK)")
 	fmt.Fprintln(w, "----------------------------------------")
 	fmt.Fprintf(w, "  %-6s %10s %14s %12s\n", "pages", "speedup", "pf-syscalls", "stall-elim")
-	app := nas.ByName("BUK")
-	for _, ppf := range []int64{1, 2, 4, 8, 16} {
-		opts := compiler.DefaultOptions()
-		opts.PagesPerFetch = ppf
-		r, err := RunApp(app, scale, 0, false, func(cfg *core.Config) {
-			cfg.Options = &opts
-		})
-		if err != nil {
-			return err
-		}
+	for i, ppf := range ppfs {
+		res := out[i]
 		fmt.Fprintf(w, "  %-6d %9.2fx %14d %11.0f%%\n",
-			ppf, r.Speedup(), r.P.Mem.PrefetchCalls, r.StallEliminated()*100)
+			ppf, res.Speedup(), res.P.Mem.PrefetchCalls, res.StallEliminated()*100)
 	}
 	return nil
 }
@@ -60,21 +107,24 @@ func AblatePagesPerFetch(w io.Writer, scale float64) error {
 // AblateReleases runs BUK with releases disabled, quantifying what the
 // release hints buy (free memory and write-back avoidance).
 func AblateReleases(w io.Writer, scale float64) error {
+	return AblateReleasesContext(context.Background(), w, scale, Runner{})
+}
+
+// AblateReleasesContext is AblateReleases with cancellation and a
+// configurable worker pool.
+func AblateReleasesContext(ctx context.Context, w io.Writer, scale float64, r Runner) error {
+	with, without, err := ablatePair(ctx, r, nas.ByName("BUK"), scale,
+		"releases", nil,
+		"no-releases", func(cfg *core.Config) {
+			opts := compiler.DefaultOptions()
+			opts.Releases = false
+			cfg.Options = &opts
+		})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Ablation: release hints (BUK)")
 	fmt.Fprintln(w, "-----------------------------")
-	app := nas.ByName("BUK")
-	with, err := RunApp(app, scale, 0, false, nil)
-	if err != nil {
-		return err
-	}
-	opts := compiler.DefaultOptions()
-	opts.Releases = false
-	without, err := RunApp(app, scale, 0, false, func(cfg *core.Config) {
-		cfg.Options = &opts
-	})
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "  %-18s %10s %12s %10s\n", "", "speedup", "mem-free", "releases")
 	fmt.Fprintf(w, "  %-18s %9.2fx %11.0f%% %10d\n", "with releases",
 		with.Speedup(), with.P.AvgFree*100, with.P.Mem.ReleasedPages)
@@ -86,20 +136,49 @@ func AblateReleases(w io.Writer, scale float64) error {
 // AblateScheduler compares FCFS (the paper's configuration) with SCAN
 // disk scheduling under prefetching.
 func AblateScheduler(w io.Writer, scale float64) error {
+	return AblateSchedulerContext(context.Background(), w, scale, Runner{})
+}
+
+// AblateSchedulerContext is AblateScheduler with cancellation and a
+// configurable worker pool.
+func AblateSchedulerContext(ctx context.Context, w io.Writer, scale float64, r Runner) error {
+	fcfs, scan, err := ablatePair(ctx, r, nas.ByName("CGM"), scale,
+		"fcfs", nil,
+		"elevator", func(cfg *core.Config) { cfg.Elevator = true })
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Ablation: disk scheduling under prefetching (CGM)")
 	fmt.Fprintln(w, "-------------------------------------------------")
-	app := nas.ByName("CGM")
-	fcfs, err := RunApp(app, scale, 0, false, nil)
-	if err != nil {
-		return err
-	}
-	scan, err := RunApp(app, scale, 0, false, func(cfg *core.Config) {
-		cfg.Elevator = true
-	})
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "  %-10s P = %v\n", "FCFS", fcfs.P.Elapsed)
 	fmt.Fprintf(w, "  %-10s P = %v\n", "elevator", scan.P.Elapsed)
+	return nil
+}
+
+// AblateAll runs the four design-choice ablations DESIGN.md calls out:
+// the two-version-loop extension, the pages-per-block-prefetch
+// parameter, release hints, and disk scheduling.
+func AblateAll(w io.Writer, scale float64) error {
+	return AblateAllContext(context.Background(), w, scale, Runner{})
+}
+
+// AblateAllContext is AblateAll with cancellation and a configurable
+// worker pool. The four ablations print in a fixed order; each fans its
+// own runs out across the pool.
+func AblateAllContext(ctx context.Context, w io.Writer, scale float64, r Runner) error {
+	parts := []func(context.Context, io.Writer, float64, Runner) error{
+		AblateTwoVersionContext,
+		AblatePagesPerFetchContext,
+		AblateReleasesContext,
+		AblateSchedulerContext,
+	}
+	for i, part := range parts {
+		if i > 0 {
+			io.WriteString(w, "\n")
+		}
+		if err := part(ctx, w, scale, r); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -4,10 +4,17 @@
 // numbers differ (the substrate is a simulator, not the authors' Hector
 // testbed); the shapes — who wins, by what factor, where the crossovers
 // fall — are the reproduction targets recorded in EXPERIMENTS.md.
+//
+// Every (app, scale, ratio, config-variant) tuple is an independent
+// simulated run, so the harness fans the experiment matrix out across a
+// worker pool (Runner) and collects results by submission index —
+// parallel output is byte-identical to a serial run.
 package bench
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
@@ -38,78 +45,198 @@ func (a *AppResult) StallEliminated() float64 {
 	return float64(saved) / float64(a.O.Times.Idle)
 }
 
-// RunApp runs one application at the given problem scale with the data
-// set standing in the given ratio to memory. withNoRT additionally runs
-// the no-run-time-layer configuration. Every run is validated against the
-// kernel's independent reference implementation.
-func RunApp(app *nas.App, scale, ratio float64, withNoRT bool, mutate func(*core.Config)) (*AppResult, error) {
+// RunOptions configure a single-application run.
+type RunOptions struct {
+	// Scale multiplies the problem size; <= 0 means 1 (the standard
+	// size).
+	Scale float64
+	// Ratio is the data:memory ratio; <= 0 means the app's standard
+	// out-of-core ratio.
+	Ratio float64
+	// WithNoRT additionally runs the no-run-time-layer configuration
+	// (Figure 4(c)).
+	WithNoRT bool
+	// Parallelism is the worker-pool size for the app's configuration
+	// variants; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Timeout, if positive, bounds each variant's wall-clock time.
+	Timeout time.Duration
+	// ConfigMutator, if set, adjusts the base configuration of every
+	// variant (compiler options, scheduling, warm start, ...).
+	ConfigMutator func(*core.Config)
+}
+
+// SuiteOptions configure a whole-suite run.
+type SuiteOptions struct {
+	// Scale multiplies every app's problem size; <= 0 means 1.
+	Scale float64
+	// Ratio overrides the data:memory ratio; <= 0 means each app's
+	// standard out-of-core ratio.
+	Ratio float64
+	// WithNoRT additionally runs each app without the run-time layer.
+	WithNoRT bool
+	// Parallelism is the worker-pool size; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Timeout, if positive, bounds each run's wall-clock time.
+	Timeout time.Duration
+	// Progress, if set, observes each run's completion.
+	Progress ProgressFunc
+	// ConfigMutator, if set, adjusts every run's base configuration.
+	ConfigMutator func(*core.Config)
+}
+
+func (o SuiteOptions) runner() *Runner {
+	return &Runner{Parallelism: o.Parallelism, Timeout: o.Timeout, Progress: o.Progress}
+}
+
+// appConfig resolves one app at (scale, ratio) into its base run
+// configuration and data-set size. ratio must already be resolved
+// (> 0).
+func appConfig(app *nas.App, scale, ratio float64, mutate func(*core.Config)) (*core.Config, int64, error) {
+	prog := app.Build(scale)
+	ps := hw.Default().PageSize
+	if err := prog.Resolve(ps); err != nil {
+		return nil, 0, err
+	}
+	data := nas.DataBytes(prog, ps)
+	cfg := core.DefaultConfig(core.MachineFor(data, ratio))
+	cfg.Seed = app.Seed
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return &cfg, data, nil
+}
+
+// runVariant runs one (app, scale, ratio, config-variant) tuple on a
+// fresh simulated system and validates the result against the kernel's
+// independent reference implementation.
+func runVariant(ctx context.Context, app *nas.App, scale, ratio float64, mutate, adjust func(*core.Config)) (*core.Result, error) {
+	cfg, _, err := appConfig(app, scale, ratio, mutate)
+	if err != nil {
+		return nil, err
+	}
+	if adjust != nil {
+		adjust(cfg)
+	}
+	prog := app.Build(scale)
+	res, err := core.RunContext(ctx, prog, *cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", app.Name, err)
+	}
+	if err := app.Check(prog, res.VM, res.Env); err != nil {
+		return nil, fmt.Errorf("%s: %w", app.Name, err)
+	}
+	return res, nil
+}
+
+// appVariantJobs returns the runner jobs for one app's configuration
+// variants, writing each result into its slot of out. ratio must
+// already be resolved.
+func appVariantJobs(app *nas.App, scale, ratio float64, mutate func(*core.Config), withNoRT bool, out *AppResult) []Job {
+	mk := func(tag string, dst **core.Result, adjust func(*core.Config)) Job {
+		return Job{
+			Label: app.Name + "/" + tag,
+			Run: func(ctx context.Context) error {
+				r, err := runVariant(ctx, app, scale, ratio, mutate, adjust)
+				if err != nil {
+					return err
+				}
+				*dst = r
+				return nil
+			},
+		}
+	}
+	jobs := []Job{
+		mk("O", &out.O, func(c *core.Config) { c.Prefetch = false }),
+		mk("P", &out.P, nil),
+	}
+	if withNoRT {
+		jobs = append(jobs, mk("no-rt", &out.NoRT, func(c *core.Config) { c.RuntimeFilter = false }))
+	}
+	return jobs
+}
+
+// RunAppContext runs one application's configuration variants (original,
+// prefetching, and optionally no-run-time-layer), each on a private
+// simulated system, in parallel. Cancelling ctx aborts in-flight runs
+// within one simulated event.
+func RunAppContext(ctx context.Context, app *nas.App, opts RunOptions) (*AppResult, error) {
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	ratio := opts.Ratio
 	if ratio <= 0 {
 		ratio = app.Ratio()
 	}
-	build := func() (*core.Config, int64, error) {
-		prog := app.Build(scale)
-		ps := hw.Default().PageSize
-		if err := prog.Resolve(ps); err != nil {
-			return nil, 0, err
-		}
-		data := nas.DataBytes(prog, ps)
-		cfg := core.DefaultConfig(core.MachineFor(data, ratio))
-		cfg.Seed = app.Seed
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		return &cfg, data, nil
-	}
-
-	runOne := func(adjust func(*core.Config)) (*core.Result, error) {
-		cfg, _, err := build()
-		if err != nil {
-			return nil, err
-		}
-		adjust(cfg)
-		prog := app.Build(scale)
-		res, err := core.Run(prog, *cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.Name, err)
-		}
-		if err := app.Check(prog, res.VM, res.Env); err != nil {
-			return nil, fmt.Errorf("%s: %w", app.Name, err)
-		}
-		return res, nil
-	}
-
-	cfg, data, err := build()
+	cfg, data, err := appConfig(app, scale, ratio, opts.ConfigMutator)
 	if err != nil {
 		return nil, err
 	}
 	out := &AppResult{Name: app.Name, DataBytes: data, Machine: cfg.Machine}
-	if out.O, err = runOne(func(c *core.Config) { c.Prefetch = false }); err != nil {
+	r := &Runner{Parallelism: opts.Parallelism, Timeout: opts.Timeout}
+	if _, err := r.Run(ctx, appVariantJobs(app, scale, ratio, opts.ConfigMutator, opts.WithNoRT, out)); err != nil {
 		return nil, err
-	}
-	if out.P, err = runOne(func(c *core.Config) {}); err != nil {
-		return nil, err
-	}
-	if withNoRT {
-		if out.NoRT, err = runOne(func(c *core.Config) { c.RuntimeFilter = false }); err != nil {
-			return nil, err
-		}
 	}
 	return out, nil
+}
+
+// RunApp runs one application at the given problem scale with the data
+// set standing in the given ratio to memory. withNoRT additionally runs
+// the no-run-time-layer configuration.
+//
+// Deprecated: use RunAppContext with RunOptions.
+func RunApp(app *nas.App, scale, ratio float64, withNoRT bool, mutate func(*core.Config)) (*AppResult, error) {
+	return RunAppContext(context.Background(), app, RunOptions{
+		Scale:         scale,
+		Ratio:         ratio,
+		WithNoRT:      withNoRT,
+		ConfigMutator: mutate,
+	})
+}
+
+// RunSuiteContext runs the whole NAS suite, treating every (app,
+// config-variant) tuple as an independent job on the worker pool.
+// Results come back in the paper's presentation order whatever the
+// completion order; cancelling ctx aborts in-flight runs within one
+// simulated event and returns ctx.Err().
+func RunSuiteContext(ctx context.Context, opts SuiteOptions) ([]*AppResult, error) {
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	apps := nas.Apps()
+	results := make([]*AppResult, len(apps))
+	var jobs []Job
+	for i, app := range apps {
+		ratio := opts.Ratio
+		if ratio <= 0 {
+			ratio = app.Ratio()
+		}
+		cfg, data, err := appConfig(app, scale, ratio, opts.ConfigMutator)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = &AppResult{Name: app.Name, DataBytes: data, Machine: cfg.Machine}
+		jobs = append(jobs, appVariantJobs(app, scale, ratio, opts.ConfigMutator, opts.WithNoRT, results[i])...)
+	}
+	if _, err := opts.runner().Run(ctx, jobs); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // RunSuite runs the whole NAS suite at the paper's standard out-of-core
 // setting (scale 1, data ≈ 2× memory), including the no-run-time-layer
 // configuration, reusing results across Figures 3–5 and Table 3.
+//
+// Deprecated: use RunSuiteContext with SuiteOptions.
 func RunSuite(scale, ratio float64, withNoRT bool) ([]*AppResult, error) {
-	var out []*AppResult
-	for _, app := range nas.Apps() {
-		r, err := RunApp(app, scale, ratio, withNoRT, nil)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return RunSuiteContext(context.Background(), SuiteOptions{
+		Scale:    scale,
+		Ratio:    ratio,
+		WithNoRT: withNoRT,
+	})
 }
 
 // TwoVersionOptions returns compiler options with the §4.1.1 two-version

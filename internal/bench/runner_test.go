@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/nas"
+)
+
+// renderAll renders every suite-derived table and figure to one string,
+// so byte-identity of parallel vs serial output can be asserted.
+func renderAll(rs []*AppResult) string {
+	var b strings.Builder
+	Fig3(&b, rs)
+	Fig4(&b, rs)
+	Fig5(&b, rs)
+	Table3(&b, rs)
+	return b.String()
+}
+
+// The tentpole guarantee: a parallel suite run is indistinguishable from
+// a serial one — same values, same rendered bytes — because results are
+// collected by submission index, never completion order, and every job
+// owns a private deterministic simulator.
+func TestSuiteParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the suite twice")
+	}
+	const scale = 0.15
+	serial, err := RunSuiteContext(context.Background(),
+		SuiteOptions{Scale: scale, WithNoRT: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSuiteContext(context.Background(),
+		SuiteOptions{Scale: scale, WithNoRT: true, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result count: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Name != p.Name {
+			t.Fatalf("order differs at %d: %s vs %s", i, s.Name, p.Name)
+		}
+		if s.O.Elapsed != p.O.Elapsed || s.P.Elapsed != p.P.Elapsed || s.NoRT.Elapsed != p.NoRT.Elapsed {
+			t.Errorf("%s: elapsed differs (O %v/%v, P %v/%v, NoRT %v/%v)", s.Name,
+				s.O.Elapsed, p.O.Elapsed, s.P.Elapsed, p.P.Elapsed, s.NoRT.Elapsed, p.NoRT.Elapsed)
+		}
+		if s.O.Mem.MajorFaults != p.O.Mem.MajorFaults || s.P.Mem.MajorFaults != p.P.Mem.MajorFaults {
+			t.Errorf("%s: fault counts differ", s.Name)
+		}
+	}
+	if sOut, pOut := renderAll(serial), renderAll(parallel); sOut != pOut {
+		t.Errorf("rendered output differs between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", sOut, pOut)
+	}
+}
+
+// Cancelling mid-suite must abort in-flight simulated runs and return
+// ctx.Err() instead of finishing the matrix.
+func TestSuiteCancellationMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel as soon as the first job completes: the remaining jobs are
+	// either in flight (aborted by the clock interrupt) or never start.
+	completions := 0
+	_, err := RunSuiteContext(ctx, SuiteOptions{
+		Scale:       0.5,
+		WithNoRT:    true,
+		Parallelism: 2,
+		Progress: func(Progress) {
+			completions++
+			cancel()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if completions >= 24 {
+		t.Fatal("suite ran to completion despite cancellation")
+	}
+}
+
+// A pre-cancelled context returns immediately with ctx.Err() and runs
+// nothing.
+func TestSuitePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	started := 0
+	_, err := RunSuiteContext(ctx, SuiteOptions{
+		Scale:    0.1,
+		Progress: func(Progress) { started++ },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started != 0 {
+		t.Fatalf("%d jobs ran under a pre-cancelled context", started)
+	}
+}
+
+// A job that exceeds its own per-job timeout fails alone: siblings keep
+// running to completion, and the runner reports the timeout.
+func TestRunnerTimeoutDoesNotPoisonSiblings(t *testing.T) {
+	// One worker: job c starts strictly after the hung job has already
+	// timed out, so it proves the timeout cancelled nothing but its own
+	// job.
+	r := &Runner{Parallelism: 1, Timeout: 20 * time.Millisecond}
+	ran := make([]bool, 3)
+	jobs := []Job{
+		{Label: "a", Run: func(ctx context.Context) error { ran[0] = true; return nil }},
+		{Label: "hang", Run: func(ctx context.Context) error { <-ctx.Done(); return ctx.Err() }},
+		{Label: "c", Run: func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+			ran[2] = true
+			return nil
+		}},
+	}
+	metrics, err := r.Run(context.Background(), jobs)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the hung job's DeadlineExceeded", err)
+	}
+	if !ran[0] || !ran[2] {
+		t.Fatalf("siblings were poisoned by the timeout: ran = %v", ran)
+	}
+	if !metrics[1].TimedOut {
+		t.Fatal("hung job not marked TimedOut")
+	}
+	if metrics[0].Err != nil || metrics[2].Err != nil {
+		t.Fatalf("sibling errors: %v / %v", metrics[0].Err, metrics[2].Err)
+	}
+	if metrics[1].Attempts != 1 || metrics[0].Attempts != 1 {
+		t.Fatalf("attempts: %+v", metrics)
+	}
+}
+
+// A per-run timeout on a real simulated run aborts that run with
+// DeadlineExceeded threaded out of the event loop.
+func TestRunAppTimeoutAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	_, err := RunAppContext(context.Background(), nas.ByName("EMBAR"), RunOptions{
+		Scale:   0.5,
+		Timeout: time.Millisecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// A real (non-timeout) job failure cancels outstanding jobs and is the
+// error the runner reports, even when a cancelled sibling finishes
+// first.
+func TestRunnerFailFastReportsRealError(t *testing.T) {
+	boom := errors.New("boom")
+	r := &Runner{Parallelism: 2}
+	jobs := []Job{
+		{Label: "hang", Run: func(ctx context.Context) error { <-ctx.Done(); return ctx.Err() }},
+		{Label: "fail", Run: func(ctx context.Context) error { return boom }},
+	}
+	metrics, err := r.Run(context.Background(), jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the real failure", err)
+	}
+	if !errors.Is(metrics[0].Err, context.Canceled) {
+		t.Fatalf("hung job err = %v, want Canceled via fail-fast", metrics[0].Err)
+	}
+}
+
+// Retries re-run only timeout failures, and the attempt count is
+// recorded.
+func TestRunnerRetries(t *testing.T) {
+	r := &Runner{Parallelism: 1, Timeout: 10 * time.Millisecond, Retries: 2}
+	calls := 0
+	jobs := []Job{{Label: "flaky", Run: func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	}}}
+	metrics, err := r.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("err = %v, want success on the third attempt", err)
+	}
+	if calls != 3 || metrics[0].Attempts != 3 || metrics[0].Err != nil {
+		t.Fatalf("calls = %d, metrics = %+v", calls, metrics[0])
+	}
+}
+
+// Progress reports every completion exactly once with a consistent
+// total.
+func TestRunnerProgressCounts(t *testing.T) {
+	var got []Progress
+	r := &Runner{Parallelism: 4, Progress: func(p Progress) { got = append(got, p) }}
+	var jobs []Job
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, Job{Label: fmt.Sprintf("j%d", i), Run: func(ctx context.Context) error { return nil }})
+	}
+	if _, err := r.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("%d progress events, want 10", len(got))
+	}
+	for i, p := range got {
+		if p.Done != i+1 || p.Total != 10 {
+			t.Fatalf("progress %d = %+v", i, p)
+		}
+	}
+}

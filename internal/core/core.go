@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compiler"
@@ -114,8 +115,20 @@ func (r *Result) Speedup(base *Result) float64 {
 }
 
 // Run executes one program under one configuration on a fresh simulated
-// system.
+// system. It is RunContext with a background context.
 func Run(prog *ir.Program, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), prog, cfg)
+}
+
+// RunContext executes one program under one configuration on a fresh
+// simulated system, honoring ctx: cancellation (or a deadline, e.g. a
+// per-run timeout) aborts the run's event loop within one simulated
+// event and returns ctx's error. A context that can never be cancelled
+// costs nothing extra.
+func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result, err error) {
+	if e := ctx.Err(); e != nil {
+		return nil, e
+	}
 	machine := cfg.Machine
 	if machine.PageSize == 0 {
 		machine = hw.Default()
@@ -143,6 +156,18 @@ func Run(prog *ir.Program, cfg Config) (*Result, error) {
 	}
 
 	clock := sim.NewClock()
+	if ctx.Done() != nil {
+		clock.SetInterrupt(ctx.Err)
+		defer func() {
+			if r := recover(); r != nil {
+				in, ok := r.(sim.Interrupted)
+				if !ok {
+					panic(r)
+				}
+				res, err = nil, in.Err
+			}
+		}()
+	}
 	var mkSched func() disk.Scheduler
 	if cfg.Elevator {
 		mkSched = func() disk.Scheduler { return &disk.Elevator{} }

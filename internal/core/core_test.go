@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/hw"
@@ -201,4 +204,63 @@ func TestTimelineSampling(t *testing.T) {
 	if RenderTimeline(nil, 10, 40) != "(no samples)\n" {
 		t.Fatal("empty timeline render")
 	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	data := int64(1<<17) * 8
+	cfg := DefaultConfig(MachineFor(data, 2))
+	cfg.Seed = seedOnes
+	if _, err := RunContext(ctx, mustProg(t), cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A deadline expiring mid-run must abort the event loop cleanly and
+// return the context's error instead of wedging or finishing the run.
+func TestRunContextDeadlineAbortsEventLoop(t *testing.T) {
+	data := int64(1<<19) * 8
+	cfg := DefaultConfig(MachineFor(data, 2))
+	cfg.Seed = seedOnes
+	prog, err := lang.Parse(`
+program stream
+param n = 1 << 19
+array double a[n]
+scalar double s
+for r = 0 .. 8 {
+    for i = 0 .. n {
+        s = s + a[i]
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := RunContext(ctx, prog, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatal("aborted run returned a result")
+	}
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Fatalf("abort took %v — interrupt not reaching the event loop", wall)
+	}
+	// The same run must complete and validate without the deadline.
+	if _, err := RunContext(context.Background(), mustProg(t), DefaultConfigSeeded(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DefaultConfigSeeded builds the standard test configuration for the
+// small stream program.
+func DefaultConfigSeeded(t *testing.T) Config {
+	t.Helper()
+	cfg := DefaultConfig(MachineFor(int64(1<<17)*8, 2))
+	cfg.Seed = seedOnes
+	return cfg
 }

@@ -74,6 +74,12 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
+// Interrupted is the value panicked out of the event loop when an
+// interrupt check installed with SetInterrupt reports an error. Callers
+// that drive a whole run (core.RunContext) recover it and convert it to
+// an ordinary error return.
+type Interrupted struct{ Err error }
+
 // Clock is the simulated clock plus its pending event queue.
 //
 // The zero value is ready to use and reads time zero.
@@ -81,6 +87,9 @@ type Clock struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+
+	interrupt func() error
+	advances  uint // counts AdvanceTo calls for the periodic interrupt poll
 
 	// DeadlockInfo, if set, is called to enrich the WaitFor deadlock
 	// panic with system state.
@@ -92,6 +101,26 @@ func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current simulated time.
 func (c *Clock) Now() Time { return c.now }
+
+// SetInterrupt installs a check that the event loop polls after every
+// dispatched event (and periodically while time advances with no events
+// due). When the check returns a non-nil error the clock aborts the run
+// by panicking with Interrupted{err}; core.RunContext recovers that
+// panic into an error return. This is how context cancellation and
+// wall-clock timeouts reach a simulated run: the check is ctx.Err, so a
+// cancelled run stops within one simulated-event granularity instead of
+// draining its event queue. A nil check disables polling.
+func (c *Clock) SetInterrupt(check func() error) { c.interrupt = check }
+
+// poll runs the interrupt check, if any.
+func (c *Clock) poll() {
+	if c.interrupt == nil {
+		return
+	}
+	if err := c.interrupt(); err != nil {
+		panic(Interrupted{Err: err})
+	}
+}
 
 // Pending reports the number of scheduled events that have not yet run.
 func (c *Clock) Pending() int { return len(c.events) }
@@ -128,10 +157,20 @@ func (c *Clock) Advance(d Time) {
 // AdvanceTo moves simulated time forward to t, firing due events in order.
 // It is a no-op if t is not in the future.
 func (c *Clock) AdvanceTo(t Time) {
+	if c.interrupt != nil {
+		// Compute-heavy stretches can advance time many times without a
+		// single event coming due; poll periodically so cancellation
+		// still lands promptly there.
+		c.advances++
+		if c.advances&255 == 0 {
+			c.poll()
+		}
+	}
 	for len(c.events) > 0 && c.events[0].when <= t {
 		e := heap.Pop(&c.events).(event)
 		c.now = e.when
 		e.fn()
+		c.poll()
 	}
 	if t > c.now {
 		c.now = t
@@ -155,6 +194,7 @@ func (c *Clock) WaitFor(cond func() bool) Time {
 		e := heap.Pop(&c.events).(event)
 		c.now = e.when
 		e.fn()
+		c.poll()
 	}
 	return c.now - start
 }
@@ -166,5 +206,6 @@ func (c *Clock) Drain() {
 		e := heap.Pop(&c.events).(event)
 		c.now = e.when
 		e.fn()
+		c.poll()
 	}
 }

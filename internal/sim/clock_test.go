@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -196,5 +197,57 @@ func TestAdvanceAdditiveProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// An interrupt raised by one event must stop the loop before the next
+// event runs (one-event granularity), surfacing as an Interrupted panic
+// carrying the check's error.
+func TestInterruptStopsWithinOneEvent(t *testing.T) {
+	errStop := errors.New("stop")
+	for _, drive := range []struct {
+		name string
+		run  func(c *Clock)
+	}{
+		{"Drain", func(c *Clock) { c.Drain() }},
+		{"AdvanceTo", func(c *Clock) { c.AdvanceTo(100) }},
+		{"WaitFor", func(c *Clock) { c.WaitFor(func() bool { return false }) }},
+	} {
+		t.Run(drive.name, func(t *testing.T) {
+			c := NewClock()
+			var cause error
+			c.SetInterrupt(func() error { return cause })
+			var ran []int
+			c.Schedule(10, func() { ran = append(ran, 1); cause = errStop })
+			c.Schedule(20, func() { ran = append(ran, 2) })
+			defer func() {
+				r := recover()
+				in, ok := r.(Interrupted)
+				if !ok {
+					t.Fatalf("recovered %v, want Interrupted", r)
+				}
+				if in.Err != errStop {
+					t.Fatalf("Interrupted.Err = %v, want %v", in.Err, errStop)
+				}
+				if len(ran) != 1 {
+					t.Fatalf("events run before interrupt: %v, want exactly the first", ran)
+				}
+			}()
+			drive.run(c)
+			t.Fatal("event loop kept going past a pending interrupt")
+		})
+	}
+}
+
+// With no interrupt set, the loop pays nothing and never panics.
+func TestNoInterruptIsFree(t *testing.T) {
+	c := NewClock()
+	n := 0
+	for i := 0; i < 10; i++ {
+		c.Schedule(Time(i), func() { n++ })
+	}
+	c.Drain()
+	if n != 10 {
+		t.Fatalf("ran %d events, want 10", n)
 	}
 }

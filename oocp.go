@@ -24,6 +24,8 @@
 package oocp
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"repro/internal/bench"
@@ -61,6 +63,34 @@ type CompileResult = compiler.Result
 // App is one benchmark of the NAS suite.
 type App = nas.App
 
+// AppResult bundles one application's runs (original, prefetching, and
+// optionally no-run-time-layer) under one problem size.
+type AppResult = bench.AppResult
+
+// RunOptions configure a single-application harness run.
+type RunOptions = bench.RunOptions
+
+// SuiteOptions configure a whole-suite harness run: problem scale,
+// data:memory ratio, configuration variants, worker-pool parallelism,
+// per-run timeout, and an optional progress callback.
+type SuiteOptions = bench.SuiteOptions
+
+// Runner is the experiment worker pool: it executes independent
+// simulated runs concurrently, preserves deterministic result ordering
+// (results are collected by index, never by completion order), and
+// threads cancellation and per-job timeouts into each run's event loop.
+type Runner = bench.Runner
+
+// Progress is one progress-callback update of a Runner.
+type Progress = bench.Progress
+
+// ProgressFunc observes job completions during a harness run.
+type ProgressFunc = bench.ProgressFunc
+
+// JobMetric records one experiment job's wall-clock cost, attempts, and
+// outcome.
+type JobMetric = bench.JobMetric
+
 // ParseProgram compiles source text in the front-end loop language into a
 // Program.
 func ParseProgram(src string) (*Program, error) { return lang.Parse(src) }
@@ -93,8 +123,16 @@ func Compile(p *Program, m Machine, opts CompilerOptions) (*CompileResult, error
 	return compiler.Compile(p, m, opts)
 }
 
-// Run executes a program on a fresh simulated system.
-func Run(p *Program, cfg Config) (*Result, error) { return core.Run(p, cfg) }
+// Run executes a program on a fresh simulated system. It is RunContext
+// with a background context.
+func Run(p *Program, cfg Config) (*Result, error) { return RunContext(context.Background(), p, cfg) }
+
+// RunContext executes a program on a fresh simulated system, honoring
+// ctx: cancellation or a deadline aborts the run's event loop within
+// one simulated event and returns ctx's error.
+func RunContext(ctx context.Context, p *Program, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, p, cfg)
+}
 
 // Seeder pre-initializes named arrays in the backing file before a run
 // ("the data now comes from disk"). Map keys are array names; values
@@ -115,10 +153,29 @@ func Seeder(f64 map[string]func(i int64) float64, i64 map[string]func(i int64) i
 }
 
 // Peek reads a float64 array element of a finished run with no simulated
-// cost (for validating results).
+// cost (for validating results). It panics if the program has no array
+// of that name or the index is out of range; use PeekE to get an error
+// instead.
 func Peek(res *Result, array string, i int64) float64 {
+	v, err := PeekE(res, array, i)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// PeekE reads a float64 array element of a finished run with no
+// simulated cost, returning an error if the program has no array of
+// that name or the index is out of range.
+func PeekE(res *Result, array string, i int64) (float64, error) {
 	a := res.Prog.ArrayByName(array)
-	return res.VM.PeekF64(a.Base + i*8)
+	if a == nil {
+		return 0, fmt.Errorf("oocp: program %s has no array %q", res.Prog.Name, array)
+	}
+	if i < 0 || i >= a.Elems {
+		return 0, fmt.Errorf("oocp: index %d out of range for array %q [0,%d)", i, array, a.Elems)
+	}
+	return res.VM.PeekF64(a.Base + i*8), nil
 }
 
 // RenderTimeline draws an ASCII chart of a sampled run's free memory and
@@ -141,8 +198,14 @@ func DataBytes(p *Program, pageSize int64) int64 { return nas.DataBytes(p, pageS
 // both the original and prefetching configurations (ratio ≤ 0 selects the
 // app's standard ratio). Results are validated against the kernel's
 // independent reference implementation.
-func RunAppPair(app *App, scale, ratio float64) (*bench.AppResult, error) {
-	return bench.RunApp(app, scale, ratio, false, nil)
+func RunAppPair(app *App, scale, ratio float64) (*AppResult, error) {
+	return bench.RunAppContext(context.Background(), app, RunOptions{Scale: scale, Ratio: ratio})
+}
+
+// RunAppContext runs one NAS app's configuration variants per opts,
+// each on a private simulated system, honoring ctx.
+func RunAppContext(ctx context.Context, app *App, opts RunOptions) (*AppResult, error) {
+	return bench.RunAppContext(ctx, app, opts)
 }
 
 // The experiment harness: each function regenerates one table or figure
@@ -156,8 +219,19 @@ func Table2(w io.Writer, scale float64) { bench.Table2(w, scale) }
 
 // RunSuite runs the whole suite at the given scale; ratio ≤ 0 uses each
 // app's standard out-of-core ratio.
-func RunSuite(scale, ratio float64, withNoRT bool) ([]*bench.AppResult, error) {
-	return bench.RunSuite(scale, ratio, withNoRT)
+//
+// Deprecated: use RunSuiteContext with SuiteOptions.
+func RunSuite(scale, ratio float64, withNoRT bool) ([]*AppResult, error) {
+	return RunSuiteContext(context.Background(), SuiteOptions{Scale: scale, Ratio: ratio, WithNoRT: withNoRT})
+}
+
+// RunSuiteContext runs the whole NAS suite on a worker pool, treating
+// every (app, config-variant) tuple as an independent simulated run.
+// Results come back in the paper's presentation order regardless of
+// completion order — a parallel suite is byte-identical to a serial
+// one. Cancelling ctx aborts in-flight runs within one simulated event.
+func RunSuiteContext(ctx context.Context, opts SuiteOptions) ([]*AppResult, error) {
+	return bench.RunSuiteContext(ctx, opts)
 }
 
 // Fig3 prints the overall-performance figure from suite results.
@@ -175,28 +249,35 @@ func Table3(w io.Writer, rs []*bench.AppResult) { bench.Table3(w, rs) }
 // Fig6 runs and prints the in-core experiments.
 func Fig6(w io.Writer, scale float64) error { return bench.Fig6(w, scale) }
 
+// Fig6Context is Fig6 with cancellation and a configurable worker pool.
+func Fig6Context(ctx context.Context, w io.Writer, scale float64, r Runner) error {
+	return bench.Fig6Context(ctx, w, scale, r)
+}
+
 // Fig7 runs and prints the larger out-of-core experiments.
 func Fig7(w io.Writer, scale float64) error { return bench.Fig7(w, scale) }
+
+// Fig7Context is Fig7 with cancellation and a configurable worker pool.
+func Fig7Context(ctx context.Context, w io.Writer, scale float64, r Runner) error {
+	return bench.Fig7Context(ctx, w, scale, r)
+}
 
 // Fig8 runs and prints the BUK case study on a machine with the given
 // memory size.
 func Fig8(w io.Writer, memBytes int64) error { return bench.Fig8(w, memBytes) }
 
+// Fig8Context is Fig8 with cancellation and a configurable worker pool.
+func Fig8Context(ctx context.Context, w io.Writer, memBytes int64, r Runner) error {
+	return bench.Fig8Context(ctx, w, memBytes, r)
+}
+
 // AblateAll runs the design-choice ablations DESIGN.md calls out: the
 // two-version-loop extension, the pages-per-block-prefetch parameter,
 // release hints, and disk scheduling.
-func AblateAll(w io.Writer, scale float64) error {
-	if err := bench.AblateTwoVersion(w, scale); err != nil {
-		return err
-	}
-	io.WriteString(w, "\n")
-	if err := bench.AblatePagesPerFetch(w, scale); err != nil {
-		return err
-	}
-	io.WriteString(w, "\n")
-	if err := bench.AblateReleases(w, scale); err != nil {
-		return err
-	}
-	io.WriteString(w, "\n")
-	return bench.AblateScheduler(w, scale)
+func AblateAll(w io.Writer, scale float64) error { return bench.AblateAll(w, scale) }
+
+// AblateAllContext is AblateAll with cancellation and a configurable
+// worker pool.
+func AblateAllContext(ctx context.Context, w io.Writer, scale float64, r Runner) error {
+	return bench.AblateAllContext(ctx, w, scale, r)
 }

@@ -1,6 +1,9 @@
 package oocp_test
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -89,5 +92,76 @@ func TestSuiteAccessors(t *testing.T) {
 	}
 	if r.Speedup() <= 1 {
 		t.Fatalf("EMBAR pair speedup %.2f", r.Speedup())
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	prog, err := oocp.ParseProgram(apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := oocp.DefaultConfig(oocp.MachineFor((1<<17)*8, 2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := oocp.RunContext(ctx, prog, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The same program still runs fine on a live context.
+	if _, err := oocp.RunContext(context.Background(), prog, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekE(t *testing.T) {
+	prog, err := oocp.ParseProgram(apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := oocp.DefaultConfig(oocp.MachineFor((1<<17)*8, 2))
+	cfg.Seed = oocp.Seeder(map[string]func(int64) float64{
+		"a": func(int64) float64 { return 7 },
+	}, nil)
+	res, err := oocp.Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := oocp.PeekE(res, "a", 3); err != nil || v != 7 {
+		t.Fatalf("PeekE = %v, %v", v, err)
+	}
+	if _, err := oocp.PeekE(res, "nosuch", 0); err == nil {
+		t.Fatal("PeekE accepted a missing array")
+	}
+	if _, err := oocp.PeekE(res, "a", 1<<20); err == nil {
+		t.Fatal("PeekE accepted an out-of-range index")
+	}
+	// Peek now panics with a useful error instead of a nil dereference.
+	func() {
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "nosuch") {
+				t.Fatalf("Peek panic = %v, want named-array error", r)
+			}
+		}()
+		oocp.Peek(res, "nosuch", 0)
+	}()
+}
+
+func TestRunSuiteContextOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	var events int
+	rs, err := oocp.RunSuiteContext(context.Background(), oocp.SuiteOptions{
+		Scale:       0.05,
+		Parallelism: 4,
+		Progress:    func(oocp.Progress) { events++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 8 {
+		t.Fatalf("suite returned %d apps", len(rs))
+	}
+	if events != 16 { // 8 apps × (O, P)
+		t.Fatalf("progress events = %d, want 16", events)
 	}
 }
