@@ -1,10 +1,21 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench
+# staticcheck is pinned so every machine runs the same analysis.
+STATICCHECK_VERSION ?= 2025.1.1
+
+# The benchmark gate covers the observability substrate and the VM hot
+# paths — the fast micro-benchmarks whose regressions would mean the
+# tracer/registry layer leaked cost into every simulated event.
+BENCH_PKGS = ./internal/obs ./internal/vm
+# -count 3 with benchdiff keeping each benchmark's fastest run damps
+# allocator and scheduler noise enough for a 15% gate.
+BENCH_FLAGS = -bench=. -benchmem -benchtime 200ms -count 3 -run '^$$'
+
+.PHONY: ci fmt-check vet staticcheck build test race bench bench-check bench-baseline
 
 # ci is the gate: formatting, static checks, build, tests, and the
 # race-detector pass over the concurrent experiment runner.
-ci: fmt-check vet build test race
+ci: fmt-check vet staticcheck build test race
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -15,16 +26,41 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# The pinned tool is fetched on demand with `go run`. In a sandbox with
+# no network the fetch fails with a resolver/dial error; that (and only
+# that) is detected and skipped, so the target still gates real findings
+# wherever the tool is fetchable — CI always runs it for real.
+staticcheck:
+	@out=$$($(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./... 2>&1); status=$$?; \
+	if [ $$status -ne 0 ] && echo "$$out" | grep -qE 'dial tcp|no such host|connection refused|i/o timeout|proxyconnect'; then \
+		echo "staticcheck: skipped (no network to fetch the pinned tool)"; \
+	else \
+		if [ -n "$$out" ]; then echo "$$out"; fi; exit $$status; \
+	fi
+
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
 
-# The experiment runner is the concurrent surface; run it (and the
-# packages it drives) under the race detector.
+# The experiment runner and the metrics registry are the concurrent
+# surfaces; run them (and the packages they drive) under the race
+# detector.
 race:
-	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/core/... .
+	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/core/... ./internal/obs/... .
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# bench-check records the benchmark gate's current figures and fails on
+# any >15% ns/op regression against the committed baseline.
+bench-check:
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchdiff -record BENCH_ci.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 15
+
+# bench-baseline refreshes the committed baseline; run it on the
+# reference machine after an intentional performance change and commit
+# the result.
+bench-baseline:
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchdiff -record BENCH_baseline.json

@@ -1,0 +1,189 @@
+// Command benchdiff records and compares Go benchmark results, gating
+// CI on performance regressions.
+//
+// Record mode parses `go test -bench` output on stdin into a JSON file
+// mapping benchmark name to ns/op and allocs/op:
+//
+//	go test -bench=. -benchmem -run '^$' ./... | benchdiff -record BENCH_ci.json
+//
+// Compare mode diffs a current recording against a committed baseline
+// and exits non-zero when any benchmark's ns/op regressed by more than
+// the threshold (percent), or when a baseline benchmark disappeared:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 15
+//
+// Benchmark names are recorded without the -GOMAXPROCS suffix so a
+// recording made on one machine compares against another's.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's recorded figures.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+func main() {
+	record := flag.String("record", "", "parse `go test -bench` output on stdin and write JSON to this file")
+	baseline := flag.String("baseline", "", "committed baseline JSON to compare against")
+	current := flag.String("current", "", "freshly recorded JSON to compare")
+	threshold := flag.Float64("threshold", 15, "maximum tolerated ns/op regression, percent")
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := doRecord(os.Stdin, *record); err != nil {
+			fatal(err)
+		}
+	case *baseline != "" && *current != "":
+		regressions, err := compare(*baseline, *current, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "benchdiff:", r)
+			}
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchdiff: need -record FILE, or -baseline FILE -current FILE")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
+
+// doRecord parses benchmark output from r and writes the recording.
+func doRecord(r io.Reader, path string) error {
+	results, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results found on stdin")
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// parseBench extracts (name, ns/op, allocs/op) from `go test -bench`
+// output. Repeated runs of one benchmark (-count > 1) keep the fastest,
+// which is the least noisy summary of a machine's capability.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := stripProcSuffix(fields[0])
+		res := Result{NsOp: -1, AllocsOp: -1}
+		for i := 2; i < len(fields)-1; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			}
+		}
+		if res.NsOp < 0 {
+			continue // a benchmark line without ns/op is not a result
+		}
+		if prev, ok := results[name]; ok && prev.NsOp <= res.NsOp {
+			continue
+		}
+		results[name] = res
+	}
+	return results, sc.Err()
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS from a benchmark
+// name, so recordings made at different parallelism still line up.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compare returns one message per regression: baseline benchmarks that
+// slowed by more than thresholdPct, or that vanished from the current
+// recording.
+func compare(basePath, curPath string, thresholdPct float64) ([]string, error) {
+	base, err := load(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: in baseline but missing from current run", name))
+			continue
+		}
+		if b.NsOp <= 0 {
+			continue
+		}
+		change := 100 * (c.NsOp - b.NsOp) / b.NsOp
+		status := "ok"
+		if change > thresholdPct {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f ns/op -> %.1f ns/op (%+.1f%% > %.0f%% threshold)",
+					name, b.NsOp, c.NsOp, change, thresholdPct))
+		}
+		fmt.Printf("%-40s %12.1f %12.1f %+8.1f%%  %s\n", name, b.NsOp, c.NsOp, change, status)
+	}
+	return regressions, nil
+}
+
+func load(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]Result
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}

@@ -5,6 +5,7 @@
 //	oocbench [-exp all|table1|table2|fig3|fig4|fig5|table3|fig6|fig7|fig8|ablate]
 //	         [-scale F] [-ratio F] [-mem MB]
 //	         [-parallel N] [-timeout D] [-progress]
+//	         [-trace FILE] [-metrics FILE]
 //
 // -scale multiplies every application's problem size (1 = standard);
 // -ratio overrides the data:memory ratio (0 = each app's standard);
@@ -16,12 +17,17 @@
 // are collected by index, so parallel output is byte-identical to a
 // serial run; Ctrl-C cancels in-flight runs cleanly. Sub-figure names
 // (fig3a, fig4b, ...) are accepted as aliases for their figure.
+//
+// -trace writes a Chrome trace-event JSON timeline of every simulated
+// run (load it in Perfetto or chrome://tracing); -metrics writes a flat
+// JSON snapshot of every run's counters keyed "<app>/<variant>/name".
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
@@ -43,7 +49,34 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
 	progress := flag.Bool("progress", false, "report per-run progress on stderr")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	metricsPath := flag.String("metrics", "", "write a flat JSON metrics snapshot to this file")
 	flag.Parse()
+
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "oocbench: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	// The zero defaults mean "pick for me" (GOMAXPROCS workers, no
+	// timeout); an explicit non-positive pool or negative timeout is a
+	// mistake and must not silently run nothing.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "parallel":
+			if *parallel <= 0 {
+				usage("-parallel must be positive, got %d", *parallel)
+			}
+		case "timeout":
+			if *timeout < 0 {
+				usage("-timeout must not be negative, got %v", *timeout)
+			}
+		case "scale":
+			if *scale <= 0 {
+				usage("-scale must be positive, got %g", *scale)
+			}
+		}
+	})
 
 	if alias, ok := expAlias[*exp]; ok {
 		*exp = alias
@@ -51,8 +84,7 @@ func main() {
 	switch *exp {
 	case "all", "table1", "table2", "fig3", "fig4", "fig5", "table3", "fig6", "fig7", "fig8", "ablate":
 	default:
-		fmt.Fprintf(os.Stderr, "oocbench: unknown experiment %q (want all, table1, table2, fig3[a|b], fig4[a|b|c], fig5, table3, fig6, fig7, fig8, or ablate)\n", *exp)
-		os.Exit(2)
+		usage("unknown experiment %q (want all, table1, table2, fig3[a|b], fig4[a|b|c], fig5, table3, fig6, fig7, fig8, or ablate)", *exp)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -72,7 +104,16 @@ func main() {
 				p.Done, p.Total, p.Job.Label, p.Job.Wall.Seconds(), status)
 		}
 	}
-	runner := oocp.Runner{Parallelism: *parallel, Timeout: *timeout, Progress: progressFn}
+	var trace *oocp.Trace
+	if *tracePath != "" {
+		trace = oocp.NewTrace()
+	}
+	var metrics *oocp.Metrics
+	if *metricsPath != "" {
+		metrics = oocp.NewMetrics()
+	}
+	runner := oocp.Runner{Parallelism: *parallel, Timeout: *timeout, Progress: progressFn,
+		Trace: trace, Metrics: metrics}
 
 	w := os.Stdout
 	fail := func(err error) {
@@ -107,6 +148,8 @@ func main() {
 			Parallelism: *parallel,
 			Timeout:     *timeout,
 			Progress:    progressFn,
+			Trace:       trace,
+			Metrics:     metrics,
 		})
 		fail(err)
 		fmt.Fprintln(w)
@@ -142,4 +185,25 @@ func main() {
 	if *exp == "all" || *exp == "ablate" {
 		fail(oocp.AblateAllContext(ctx, w, *scale, runner))
 	}
+
+	if trace != nil {
+		fail(writeFile(*tracePath, trace.WriteJSON))
+	}
+	if metrics != nil {
+		fail(writeFile(*metricsPath, metrics.WriteJSON))
+	}
+}
+
+// writeFile creates path and streams write into it, reporting the first
+// error of create/write/close.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

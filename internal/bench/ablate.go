@@ -18,12 +18,12 @@ func ablatePair(ctx context.Context, r Runner, app *nas.App, scale float64,
 
 	jobs := []Job{
 		{Label: app.Name + "/" + aLabel, Run: func(ctx context.Context) error {
-			res, err := runAppJob(ctx, app, scale, 0, aMutate)
+			res, err := runAppJob(ctx, r, app.Name+"/"+aLabel, app, scale, 0, aMutate)
 			a = res
 			return err
 		}},
 		{Label: app.Name + "/" + bLabel, Run: func(ctx context.Context) error {
-			res, err := runAppJob(ctx, app, scale, 0, bMutate)
+			res, err := runAppJob(ctx, r, app.Name+"/"+bLabel, app, scale, 0, bMutate)
 			b = res
 			return err
 		}},
@@ -76,12 +76,13 @@ func AblatePagesPerFetchContext(ctx context.Context, w io.Writer, scale float64,
 	out := make([]*AppResult, len(ppfs))
 	var jobs []Job
 	for i, ppf := range ppfs {
+		label := fmt.Sprintf("BUK/ppf=%d", ppf)
 		jobs = append(jobs, Job{
-			Label: fmt.Sprintf("BUK/ppf=%d", ppf),
+			Label: label,
 			Run: func(ctx context.Context) error {
 				opts := compiler.DefaultOptions()
 				opts.PagesPerFetch = ppf
-				res, err := runAppJob(ctx, app, scale, 0, func(cfg *core.Config) {
+				res, err := runAppJob(ctx, r, label, app, scale, 0, func(cfg *core.Config) {
 					cfg.Options = &opts
 				})
 				out[i] = res

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/nas"
+	"repro/internal/obs"
 )
 
 // AppResult bundles the runs of one application under one problem size.
@@ -64,6 +65,15 @@ type RunOptions struct {
 	// ConfigMutator, if set, adjusts the base configuration of every
 	// variant (compiler options, scheduling, warm start, ...).
 	ConfigMutator func(*core.Config)
+	// Trace, if non-nil, collects a Chrome-trace timeline: one process
+	// per variant run, named "<label>/<variant>".
+	Trace *obs.Trace
+	// Metrics, if non-nil, receives each variant run's counters merged
+	// under a "<label>/<variant>/" prefix when the run completes.
+	Metrics *obs.Registry
+	// Label is the trace/metrics prefix for this app's runs; empty means
+	// the app name.
+	Label string
 }
 
 // SuiteOptions configure a whole-suite run.
@@ -83,10 +93,24 @@ type SuiteOptions struct {
 	Progress ProgressFunc
 	// ConfigMutator, if set, adjusts every run's base configuration.
 	ConfigMutator func(*core.Config)
+	// Trace, if non-nil, collects a Chrome-trace timeline: one process
+	// per run plus one for the worker pool.
+	Trace *obs.Trace
+	// Metrics, if non-nil, receives every run's counters merged under
+	// "<app>/<variant>/" prefixes plus the pool's own runner.* counters.
+	Metrics *obs.Registry
 }
 
 func (o SuiteOptions) runner() *Runner {
-	return &Runner{Parallelism: o.Parallelism, Timeout: o.Timeout, Progress: o.Progress}
+	return &Runner{Parallelism: o.Parallelism, Timeout: o.Timeout, Progress: o.Progress,
+		Trace: o.Trace, Metrics: o.Metrics}
+}
+
+// sinks bundles the harness-level observability collectors threaded into
+// every simulated run. The zero value means observability is off.
+type sinks struct {
+	trace   *obs.Trace
+	metrics *obs.Registry
 }
 
 // appConfig resolves one app at (scale, ratio) into its base run
@@ -109,8 +133,11 @@ func appConfig(app *nas.App, scale, ratio float64, mutate func(*core.Config)) (*
 
 // runVariant runs one (app, scale, ratio, config-variant) tuple on a
 // fresh simulated system and validates the result against the kernel's
-// independent reference implementation.
-func runVariant(ctx context.Context, app *nas.App, scale, ratio float64, mutate, adjust func(*core.Config)) (*core.Result, error) {
+// independent reference implementation. The run traces into snk.trace as
+// a process named label, and its counters (which land in a per-run
+// private registry, so concurrent siblings never contend) merge into
+// snk.metrics under "label/" once it completes.
+func runVariant(ctx context.Context, app *nas.App, scale, ratio float64, mutate, adjust func(*core.Config), snk sinks, label string) (*core.Result, error) {
 	cfg, _, err := appConfig(app, scale, ratio, mutate)
 	if err != nil {
 		return nil, err
@@ -118,6 +145,8 @@ func runVariant(ctx context.Context, app *nas.App, scale, ratio float64, mutate,
 	if adjust != nil {
 		adjust(cfg)
 	}
+	cfg.Trace = snk.trace
+	cfg.TraceName = label
 	prog := app.Build(scale)
 	res, err := core.RunContext(ctx, prog, *cfg)
 	if err != nil {
@@ -126,18 +155,25 @@ func runVariant(ctx context.Context, app *nas.App, scale, ratio float64, mutate,
 	if err := app.Check(prog, res.VM, res.Env); err != nil {
 		return nil, fmt.Errorf("%s: %w", app.Name, err)
 	}
+	if snk.metrics != nil {
+		snk.metrics.Merge(label+"/", res.Metrics)
+	}
 	return res, nil
 }
 
 // appVariantJobs returns the runner jobs for one app's configuration
 // variants, writing each result into its slot of out. ratio must
 // already be resolved.
-func appVariantJobs(app *nas.App, scale, ratio float64, mutate func(*core.Config), withNoRT bool, out *AppResult) []Job {
+func appVariantJobs(app *nas.App, scale, ratio float64, mutate func(*core.Config), withNoRT bool, out *AppResult, snk sinks, base string) []Job {
+	if base == "" {
+		base = app.Name
+	}
 	mk := func(tag string, dst **core.Result, adjust func(*core.Config)) Job {
+		label := base + "/" + tag
 		return Job{
-			Label: app.Name + "/" + tag,
+			Label: label,
 			Run: func(ctx context.Context) error {
-				r, err := runVariant(ctx, app, scale, ratio, mutate, adjust)
+				r, err := runVariant(ctx, app, scale, ratio, mutate, adjust, snk, label)
 				if err != nil {
 					return err
 				}
@@ -175,7 +211,8 @@ func RunAppContext(ctx context.Context, app *nas.App, opts RunOptions) (*AppResu
 	}
 	out := &AppResult{Name: app.Name, DataBytes: data, Machine: cfg.Machine}
 	r := &Runner{Parallelism: opts.Parallelism, Timeout: opts.Timeout}
-	if _, err := r.Run(ctx, appVariantJobs(app, scale, ratio, opts.ConfigMutator, opts.WithNoRT, out)); err != nil {
+	snk := sinks{trace: opts.Trace, metrics: opts.Metrics}
+	if _, err := r.Run(ctx, appVariantJobs(app, scale, ratio, opts.ConfigMutator, opts.WithNoRT, out, snk, opts.Label)); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -207,6 +244,7 @@ func RunSuiteContext(ctx context.Context, opts SuiteOptions) ([]*AppResult, erro
 	}
 	apps := nas.Apps()
 	results := make([]*AppResult, len(apps))
+	snk := sinks{trace: opts.Trace, metrics: opts.Metrics}
 	var jobs []Job
 	for i, app := range apps {
 		ratio := opts.Ratio
@@ -218,7 +256,7 @@ func RunSuiteContext(ctx context.Context, opts SuiteOptions) ([]*AppResult, erro
 			return nil, err
 		}
 		results[i] = &AppResult{Name: app.Name, DataBytes: data, Machine: cfg.Machine}
-		jobs = append(jobs, appVariantJobs(app, scale, ratio, opts.ConfigMutator, opts.WithNoRT, results[i])...)
+		jobs = append(jobs, appVariantJobs(app, scale, ratio, opts.ConfigMutator, opts.WithNoRT, results[i], snk, "")...)
 	}
 	if _, err := opts.runner().Run(ctx, jobs); err != nil {
 		return nil, err

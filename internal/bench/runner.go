@@ -7,6 +7,9 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Job is one unit of work for a Runner — typically a single simulated
@@ -76,6 +79,56 @@ type Runner struct {
 	Retries int
 	// Progress, if set, observes each job completion.
 	Progress ProgressFunc
+	// Trace, if non-nil, gets a "runner" process with one track per
+	// worker, spanning every job on the wall clock.
+	Trace *obs.Trace
+	// Metrics, if non-nil, receives the pool's own counters
+	// (runner.jobs, runner.jobs_failed, runner.jobs_timed_out,
+	// runner.attempts, runner.wall_ns), updated concurrently by the
+	// workers.
+	Metrics *obs.Registry
+}
+
+// poolObs is the runner's own observability state, resolved once per Run.
+type poolObs struct {
+	proc                                   *obs.Proc
+	jobs, failed, timedOut, attempts, wall *obs.Counter
+	epoch                                  time.Time
+}
+
+func (r *Runner) observe() poolObs {
+	reg := r.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var proc *obs.Proc
+	if r.Trace != nil {
+		proc = r.Trace.NewProcess("runner")
+	}
+	return poolObs{
+		proc:     proc,
+		jobs:     reg.Counter("runner.jobs"),
+		failed:   reg.Counter("runner.jobs_failed"),
+		timedOut: reg.Counter("runner.jobs_timed_out"),
+		attempts: reg.Counter("runner.attempts"),
+		wall:     reg.Counter("runner.wall_ns"),
+		epoch:    time.Now(),
+	}
+}
+
+// record accounts one finished job and, when tracing, spans it on the
+// worker's track from its wall-clock start.
+func (po *poolObs) record(track *obs.Track, label string, started time.Duration, m JobMetric) {
+	po.jobs.Inc()
+	po.attempts.Add(int64(m.Attempts))
+	po.wall.Add(int64(m.Wall))
+	if m.TimedOut {
+		po.timedOut.Inc()
+	}
+	if m.Err != nil {
+		po.failed.Inc()
+	}
+	track.Span(label, "job", sim.Time(started), sim.Time(m.Wall))
 }
 
 // Run executes jobs and returns one metric per job, in submission
@@ -105,13 +158,17 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]JobMetric, error) {
 		mu   sync.Mutex // guards done and serializes Progress
 		done int
 	)
+	po := r.observe()
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
+		track := po.proc.Thread(fmt.Sprintf("worker %d", w))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				started := time.Since(po.epoch)
 				m := r.runJob(runCtx, i, jobs[i])
+				po.record(track, jobs[i].Label, started, m)
 				metrics[i] = m
 				if m.Err != nil && !m.TimedOut {
 					cancel()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/nas"
+	"repro/internal/obs"
 )
 
 // renderAll renders every suite-derived table and figure to one string,
@@ -222,5 +223,63 @@ func TestRunnerProgressCounts(t *testing.T) {
 		if p.Done != i+1 || p.Total != 10 {
 			t.Fatalf("progress %d = %+v", i, p)
 		}
+	}
+}
+
+// The runner's pool counters and trace are written by every worker
+// concurrently; this test (run under -race in CI) pins both the totals
+// and the data-race freedom of the shared registry.
+func TestRunnerObservabilityConcurrent(t *testing.T) {
+	trace := obs.NewTrace()
+	reg := obs.NewRegistry()
+	shared := reg.Counter("test.work")
+	r := &Runner{Parallelism: 8, Trace: trace, Metrics: reg}
+	const n = 64
+	var jobs []Job
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, Job{
+			Label: fmt.Sprintf("j%d", i),
+			Run: func(ctx context.Context) error {
+				// Jobs also hammer the shared registry directly, like
+				// concurrent suite runs merging their metrics do.
+				for k := 0; k < 100; k++ {
+					shared.Inc()
+				}
+				return nil
+			},
+		})
+	}
+	if _, err := r.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["runner.jobs"]; got != n {
+		t.Fatalf("runner.jobs = %d, want %d", got, n)
+	}
+	if got := snap.Counters["runner.attempts"]; got != n {
+		t.Fatalf("runner.attempts = %d, want %d", got, n)
+	}
+	if got := snap.Counters["test.work"]; got != n*100 {
+		t.Fatalf("test.work = %d, want %d", got, n*100)
+	}
+	if got := snap.Counters["runner.jobs_failed"]; got != 0 {
+		t.Fatalf("runner.jobs_failed = %d, want 0", got)
+	}
+
+	// One "runner" process, one span per job across the worker tracks.
+	var spans, workers int
+	for _, e := range trace.Events() {
+		switch {
+		case e.Phase == 'X' && e.Cat == "job":
+			spans++
+		case e.Phase == 'M' && e.Name == "thread_name":
+			workers++
+		}
+	}
+	if spans != n {
+		t.Fatalf("%d job spans, want %d", spans, n)
+	}
+	if workers != 8 {
+		t.Fatalf("%d worker tracks, want 8", workers)
 	}
 }

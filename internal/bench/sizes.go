@@ -12,14 +12,18 @@ import (
 )
 
 // runAppJob is RunAppContext shaped for use inside a Runner job: the
-// enclosing pool supplies the parallelism, so the app's own variants
-// run serially.
-func runAppJob(ctx context.Context, app *nas.App, scale, ratio float64, mutate func(*core.Config)) (*AppResult, error) {
+// enclosing pool supplies the parallelism, so the app's own variants run
+// serially. The pool's observability sinks flow into the runs, with
+// label ("<app>/<case>") keeping each case's traces and metrics apart.
+func runAppJob(ctx context.Context, r Runner, label string, app *nas.App, scale, ratio float64, mutate func(*core.Config)) (*AppResult, error) {
 	return RunAppContext(ctx, app, RunOptions{
 		Scale:         scale,
 		Ratio:         ratio,
 		Parallelism:   1,
 		ConfigMutator: mutate,
+		Trace:         r.Trace,
+		Metrics:       r.Metrics,
+		Label:         label,
 	})
 }
 
@@ -43,12 +47,12 @@ func Fig6Context(ctx context.Context, w io.Writer, scale float64, r Runner) erro
 	for i, app := range apps {
 		jobs = append(jobs,
 			Job{Label: app.Name + "/cold", Run: func(ctx context.Context) error {
-				res, err := runAppJob(ctx, app, scale, ratio, nil)
+				res, err := runAppJob(ctx, r, app.Name+"/cold", app, scale, ratio, nil)
 				out[i].cold = res
 				return err
 			}},
 			Job{Label: app.Name + "/warm", Run: func(ctx context.Context) error {
-				res, err := runAppJob(ctx, app, scale, ratio, func(cfg *core.Config) {
+				res, err := runAppJob(ctx, r, app.Name+"/warm", app, scale, ratio, func(cfg *core.Config) {
 					cfg.WarmStart = true
 				})
 				out[i].warm = res
@@ -97,7 +101,7 @@ func Fig7Context(ctx context.Context, w io.Writer, scale float64, r Runner) erro
 		app := nas.ByName(c.name)
 		jobs = append(jobs,
 			Job{Label: c.name + "/std", Run: func(ctx context.Context) error {
-				res, err := runAppJob(ctx, app, scale, 0, nil)
+				res, err := runAppJob(ctx, r, c.name+"/std", app, scale, 0, nil)
 				out[i].std = res
 				return err
 			}},
@@ -105,7 +109,7 @@ func Fig7Context(ctx context.Context, w io.Writer, scale float64, r Runner) erro
 			// data up by ratio/standard-ratio so memory stays at the
 			// standard size.
 			Job{Label: c.name + "/big", Run: func(ctx context.Context) error {
-				res, err := runAppJob(ctx, app, scale*c.ratio/app.Ratio(), c.ratio, nil)
+				res, err := runAppJob(ctx, r, c.name+"/big", app, scale*c.ratio/app.Ratio(), c.ratio, nil)
 				out[i].big = res
 				return err
 			}})
@@ -149,8 +153,9 @@ func Fig8SweepContext(ctx context.Context, memBytes int64, scales []float64, r R
 	out := make([]Fig8Point, len(scales))
 	var jobs []Job
 	for i, s := range scales {
+		label := fmt.Sprintf("BUK/x%g", s)
 		jobs = append(jobs, Job{
-			Label: fmt.Sprintf("BUK/x%g", s),
+			Label: label,
 			Run: func(ctx context.Context) error {
 				prog := app.Build(s)
 				ps := hw.Default().PageSize
@@ -164,6 +169,12 @@ func Fig8SweepContext(ctx context.Context, memBytes int64, scales []float64, r R
 					cfg := core.DefaultConfig(machine)
 					cfg.Prefetch = prefetch
 					cfg.Seed = app.Seed
+					tag := label + "/O"
+					if prefetch {
+						tag = label + "/P"
+					}
+					cfg.Trace = r.Trace
+					cfg.TraceName = tag
 					p := app.Build(s)
 					res, err := core.RunContext(ctx, p, cfg)
 					if err != nil {
@@ -171,6 +182,9 @@ func Fig8SweepContext(ctx context.Context, memBytes int64, scales []float64, r R
 					}
 					if err := app.Check(p, res.VM, res.Env); err != nil {
 						return 0, err
+					}
+					if r.Metrics != nil {
+						r.Metrics.Merge(tag+"/", res.Metrics)
 					}
 					return res.Times.Total(), nil
 				}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/hw"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/stripefs"
@@ -59,6 +60,21 @@ type Config struct {
 	// SamplePeriod, if positive, records a timeline of memory-manager
 	// state every period of simulated time (Result.Timeline).
 	SamplePeriod sim.Time
+
+	// Trace, if non-nil, collects a Chrome-trace timeline of the run: one
+	// process per run, with tracks for the VM core ("cpu", "faults"), each
+	// disk, and classification instants for every fault. Nil costs one
+	// nil-check per event.
+	Trace *obs.Trace
+
+	// TraceName names the run's process in the trace; empty defaults to
+	// the program name.
+	TraceName string
+
+	// Metrics, if non-nil, is the registry every layer's counters register
+	// in, so one run's metrics land beside others'. Nil gives the run a
+	// private registry, returned in Result.Metrics either way.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the standard prefetching configuration.
@@ -103,6 +119,11 @@ type Result struct {
 
 	DiskStats []disk.Stats
 	DiskUtil  float64 // mean utilization across disks
+
+	// Metrics is the registry the run's counters live in (Config.Metrics,
+	// or the run's private registry). Times/Mem/RT/DiskStats above are
+	// views assembled from it.
+	Metrics *obs.Registry
 }
 
 // Speedup returns how much faster this run is than base:
@@ -172,7 +193,19 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 	if cfg.Elevator {
 		mkSched = func() disk.Scheduler { return &disk.Elevator{} }
 	}
-	fs := stripefs.New(clock, machine, mkSched)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	o := &obs.RunObs{Reg: reg}
+	if cfg.Trace != nil {
+		name := cfg.TraceName
+		if name == "" {
+			name = prog.Name
+		}
+		o.Proc = cfg.Trace.NewProcess(name)
+	}
+	fs := stripefs.NewObserved(clock, machine, mkSched, o)
 	pages := prog.TotalBytes(machine.PageSize) / machine.PageSize
 	if pages == 0 {
 		pages = 1
@@ -181,8 +214,8 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 	if err != nil {
 		return nil, err
 	}
-	v := vm.New(clock, machine, file)
-	layer := rt.Register(v, cfg.RuntimeFilter || !cfg.Prefetch)
+	v := vm.NewObserved(clock, machine, file, o)
+	layer := rt.RegisterObserved(v, cfg.RuntimeFilter || !cfg.Prefetch, reg)
 	m, err := exec.New(execProg, v, layer)
 	if err != nil {
 		return nil, err
@@ -221,6 +254,7 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		Mem:     v.Stats(),
 		RT:      layer.Stats(),
 		AvgFree: v.AvgFreeFrac(),
+		Metrics: reg,
 	}
 	if smp != nil {
 		r.Timeline = smp.stop()
@@ -231,5 +265,13 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		util += d.Utilization(elapsed)
 	}
 	r.DiskUtil = util / float64(len(fs.Disks()))
+
+	// End-of-run summary metrics: derived values the counters alone do
+	// not carry.
+	reg.Counter("run.elapsed_ns").Store(int64(elapsed))
+	reg.Counter("sim.events_scheduled").Store(clock.EventsScheduled())
+	reg.Counter("sim.events_dispatched").Store(clock.EventsDispatched())
+	reg.Gauge("run.avg_free_frac").Set(r.AvgFree)
+	reg.Gauge("disk.util_mean").Set(r.DiskUtil)
 	return r, nil
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenSrc is a small fixed workload: big enough to fault, prefetch,
+// and write back through every traced layer, small enough that the
+// golden trace stays reviewable.
+const goldenSrc = `
+program stream
+param n = 1 << 13
+array double a[n]
+scalar double s
+for i = 0 .. n {
+    s = s + a[i]
+}
+`
+
+// TestTraceGolden locks down the Chrome trace exporter end to end: a
+// deterministic run must serialize to exactly the committed golden
+// trace. The comparison is over parsed JSON, so it is insensitive to
+// field ordering; regenerate with `go test ./internal/core -run
+// TraceGolden -update` after an intentional format change.
+func TestTraceGolden(t *testing.T) {
+	prog, err := lang.Parse(goldenSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := obs.NewTrace()
+	data := int64(8 << 13) // n doubles
+	cfg := DefaultConfig(MachineFor(data, 2))
+	cfg.Seed = seedOnes
+	cfg.Trace = trace
+	cfg.TraceName = "stream/P"
+	if _, err := Run(prog, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_stream.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+
+	var gotV, wantV any
+	if err := json.Unmarshal(buf.Bytes(), &gotV); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if err := json.Unmarshal(want, &wantV); err != nil {
+		t.Fatalf("golden file is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(gotV, wantV) {
+		t.Fatalf("trace diverged from %s (%d bytes now vs %d golden); run with -update if intentional",
+			golden, buf.Len(), len(want))
+	}
+
+	// Sanity beyond byte equality: the golden itself must have the track
+	// structure the exporter promises.
+	events := trace.Events()
+	tracks := map[string]bool{}
+	classes := map[string]bool{}
+	for _, e := range events {
+		switch e.Phase {
+		case 'M':
+			if e.Name == "thread_name" {
+				tracks[e.Label] = true
+			}
+		case 'i':
+			if e.Cat == "fault-class" {
+				classes[e.Name] = true
+			}
+		}
+	}
+	for _, want := range []string{"cpu", "faults", "disk 0"} {
+		if !tracks[want] {
+			t.Errorf("trace lacks a %q track (have %v)", want, tracks)
+		}
+	}
+	if len(classes) == 0 {
+		t.Error("trace has no fault-classification instants")
+	}
+}

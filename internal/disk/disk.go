@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -47,11 +48,44 @@ type Request struct {
 	Done  func()
 }
 
-// Stats accumulates per-disk activity.
+// Stats accumulates per-disk activity. The service path increments the
+// plain fields directly (a disk is driven by its run's single simulator
+// goroutine); reading them through Disk.Stats or Disk.Utilization
+// publishes them into the disk's metrics-registry counters
+// ("disk.<id>.requests.<kind>", "disk.<id>.pages.<kind>",
+// "disk.<id>.busy_ns"), so registry snapshots taken after a view read
+// are current.
 type Stats struct {
 	Requests [numKinds]int64 // request count by kind
 	Pages    [numKinds]int64 // pages moved by kind
 	BusyTime sim.Time        // total time the arm/media was busy
+}
+
+// counters holds a disk's metrics-registry handles. The disk is the sole
+// writer of these names in its run's registry, so publish may use
+// absolute stores.
+type counters struct {
+	requests [numKinds]*obs.Counter
+	pages    [numKinds]*obs.Counter
+	busy     *obs.Counter
+}
+
+func newCounters(reg *obs.Registry, id int) counters {
+	var c counters
+	for k := Kind(0); k < numKinds; k++ {
+		c.requests[k] = reg.Counter(fmt.Sprintf("disk.%d.requests.%s", id, k))
+		c.pages[k] = reg.Counter(fmt.Sprintf("disk.%d.pages.%s", id, k))
+	}
+	c.busy = reg.Counter(fmt.Sprintf("disk.%d.busy_ns", id))
+	return c
+}
+
+func (c *counters) publish(s *Stats) {
+	for k := Kind(0); k < numKinds; k++ {
+		c.requests[k].Store(s.Requests[k])
+		c.pages[k].Store(s.Pages[k])
+	}
+	c.busy.Store(int64(s.BusyTime))
 }
 
 // RequestsTotal returns the total request count across kinds.
@@ -134,23 +168,41 @@ type Disk struct {
 	headCyl int64
 	busy    bool
 	queue   []Request
-	stats   Stats
-	depthHi int // high-water queue depth, for diagnostics
+	n       Stats
+	c       counters
+	track   *obs.Track // service-time spans; nil when tracing is off
+	depthHi int        // high-water queue depth, for diagnostics
 }
 
-// New returns an idle disk. If sched is nil, FCFS is used.
+// New returns an idle disk. If sched is nil, FCFS is used. Accounting
+// lands in a private metrics registry and tracing is off; NewObserved
+// shares both with the rest of the system.
 func New(clock *sim.Clock, p hw.Params, id int, sched Scheduler) *Disk {
+	return NewObserved(clock, p, id, sched, nil, nil)
+}
+
+// NewObserved is New with observability sinks attached: the disk's
+// counters register in reg ("disk.<id>.*"; nil gets a private registry)
+// and every serviced request becomes a span on track (nil disables).
+func NewObserved(clock *sim.Clock, p hw.Params, id int, sched Scheduler, reg *obs.Registry, track *obs.Track) *Disk {
 	if sched == nil {
 		sched = FCFS{}
 	}
-	return &Disk{clock: clock, p: p, id: id, sched: sched}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Disk{clock: clock, p: p, id: id, sched: sched, c: newCounters(reg, id), track: track}
 }
 
 // ID returns the disk's index within its array.
 func (d *Disk) ID() int { return d.id }
 
-// Stats returns a snapshot of the disk's accumulated statistics.
-func (d *Disk) Stats() Stats { return d.stats }
+// Stats returns a snapshot of the disk's accumulated statistics,
+// publishing them into the metrics registry as a side effect.
+func (d *Disk) Stats() Stats {
+	d.c.publish(&d.n)
+	return d.n
+}
 
 // QueueLen returns the number of requests waiting (not counting the one in
 // service).
@@ -205,9 +257,12 @@ func (d *Disk) startNext() {
 
 	t := d.ServiceTime(d.headCyl, r)
 	d.headCyl = (r.Block + r.Pages - 1) / d.p.PagesPerCyl
-	d.stats.BusyTime += t
-	d.stats.Requests[r.Kind]++
-	d.stats.Pages[r.Kind] += r.Pages
+	d.n.BusyTime += t
+	d.n.Requests[r.Kind]++
+	d.n.Pages[r.Kind] += r.Pages
+	if d.track != nil { // guard: Kind.String is a call even when untraced
+		d.track.SpanArg(r.Kind.String(), "disk", d.clock.Now(), t, "block", r.Block)
+	}
 
 	d.clock.Schedule(t, func() {
 		if r.Done != nil {
@@ -218,10 +273,11 @@ func (d *Disk) startNext() {
 }
 
 // Utilization returns the fraction of the elapsed simulated time this disk
-// was busy.
+// was busy, publishing the accumulated statistics as Stats does.
 func (d *Disk) Utilization(elapsed sim.Time) float64 {
+	d.c.publish(&d.n)
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(d.stats.BusyTime) / float64(elapsed)
+	return float64(d.n.BusyTime) / float64(elapsed)
 }

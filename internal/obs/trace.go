@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Trace collects structured events from every layer of a run — complete
+// spans ("this stretch of simulated time was a fault service"), instants
+// ("this fault was classified late"), and track metadata — and exports
+// them in the Chrome trace-event format, loadable in Perfetto or
+// chrome://tracing.
+//
+// A Trace is safe for concurrent use: suite runs append from many worker
+// goroutines into one collector. A nil *Trace is valid and means tracing
+// is off; every derived Proc and Track is then nil and each emission
+// costs one nil check.
+type Trace struct {
+	mu      sync.Mutex
+	events  []Event
+	nextPid int64
+}
+
+// Event is one collected trace record. Timestamps and durations are in
+// simulated nanoseconds for simulator tracks and wall-clock nanoseconds
+// for harness (runner) tracks; the exporter converts to the microseconds
+// the trace-event format specifies.
+type Event struct {
+	Name    string
+	Cat     string
+	Phase   byte // 'X' complete span, 'i' instant, 'M' metadata
+	TS      int64
+	Dur     int64
+	Pid     int64
+	Tid     int64
+	ArgName string // optional single numeric argument; "" = none
+	Arg     int64
+	Label   string // string argument of metadata events
+}
+
+// NewTrace returns an empty collector.
+func NewTrace() *Trace { return &Trace{} }
+
+func (t *Trace) add(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len reports the number of collected events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the collected events (for tests and custom
+// exporters).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// NewProcess allocates a process-level track group — one per simulated
+// run (pid = run) plus one for the harness itself — and names it in the
+// exported trace. Nil-safe: a nil Trace returns a nil Proc.
+func (t *Trace) NewProcess(name string) *Proc {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextPid++
+	pid := t.nextPid
+	t.events = append(t.events, Event{
+		Name: "process_name", Phase: 'M', Pid: pid, Label: name,
+	})
+	t.mu.Unlock()
+	return &Proc{t: t, pid: pid}
+}
+
+// Proc is one process track group of a trace.
+type Proc struct {
+	t       *Trace
+	pid     int64
+	mu      sync.Mutex
+	nextTid int64
+}
+
+// Thread allocates a named track within the process: one per disk, per
+// VM core, per runner worker. Nil-safe: a nil Proc returns a nil Track.
+func (p *Proc) Thread(name string) *Track {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	p.nextTid++
+	tid := p.nextTid
+	p.mu.Unlock()
+	p.t.add(Event{
+		Name: "thread_name", Phase: 'M', Pid: p.pid, Tid: tid, Label: name,
+	})
+	return &Track{t: p.t, pid: p.pid, tid: tid}
+}
+
+// Track is one horizontal timeline in the exported trace. Emitting
+// through a nil Track is a no-op costing one nil check — this is how
+// disabled tracing stays off the hot path.
+type Track struct {
+	t        *Trace
+	pid, tid int64
+}
+
+// The exported emitters are thin wrappers around out-of-line slow paths
+// so that the nil check inlines at every call site: with tracing off the
+// whole call reduces to one compare-and-branch, no function call.
+
+// Span records a complete span of duration dur starting at start.
+func (tr *Track) Span(name, cat string, start, dur sim.Time) {
+	if tr == nil {
+		return
+	}
+	tr.span(name, cat, start, dur)
+}
+
+//go:noinline
+func (tr *Track) span(name, cat string, start, dur sim.Time) {
+	tr.t.add(Event{Name: name, Cat: cat, Phase: 'X',
+		TS: int64(start), Dur: int64(dur), Pid: tr.pid, Tid: tr.tid})
+}
+
+// SpanArg is Span with one numeric argument attached.
+func (tr *Track) SpanArg(name, cat string, start, dur sim.Time, argName string, arg int64) {
+	if tr == nil {
+		return
+	}
+	tr.spanArg(name, cat, start, dur, argName, arg)
+}
+
+//go:noinline
+func (tr *Track) spanArg(name, cat string, start, dur sim.Time, argName string, arg int64) {
+	tr.t.add(Event{Name: name, Cat: cat, Phase: 'X',
+		TS: int64(start), Dur: int64(dur), Pid: tr.pid, Tid: tr.tid,
+		ArgName: argName, Arg: arg})
+}
+
+// Instant records a zero-duration marker at ts.
+func (tr *Track) Instant(name, cat string, ts sim.Time) {
+	if tr == nil {
+		return
+	}
+	tr.instant(name, cat, ts)
+}
+
+//go:noinline
+func (tr *Track) instant(name, cat string, ts sim.Time) {
+	tr.t.add(Event{Name: name, Cat: cat, Phase: 'i',
+		TS: int64(ts), Pid: tr.pid, Tid: tr.tid})
+}
+
+// InstantArg is Instant with one numeric argument attached.
+func (tr *Track) InstantArg(name, cat string, ts sim.Time, argName string, arg int64) {
+	if tr == nil {
+		return
+	}
+	tr.instantArg(name, cat, ts, argName, arg)
+}
+
+//go:noinline
+func (tr *Track) instantArg(name, cat string, ts sim.Time, argName string, arg int64) {
+	tr.t.add(Event{Name: name, Cat: cat, Phase: 'i',
+		TS: int64(ts), Pid: tr.pid, Tid: tr.tid,
+		ArgName: argName, Arg: arg})
+}
+
+// jsonEvent is the trace-event wire format. ts and dur are microseconds
+// (fractional values are allowed and preserve the nanosecond grain).
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON writes the collected events as Chrome trace-event JSON
+// (object form, with a traceEvents array), loadable in Perfetto.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	var events []Event
+	if t != nil {
+		events = t.Events()
+	}
+	out := struct {
+		TraceEvents     []jsonEvent `json:"traceEvents"`
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+	}{
+		TraceEvents:     make([]jsonEvent, 0, len(events)),
+		DisplayTimeUnit: "ms",
+	}
+	for _, e := range events {
+		je := jsonEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   string(rune(e.Phase)),
+			TS:   float64(e.TS) / 1e3,
+			Pid:  e.Pid,
+			Tid:  e.Tid,
+		}
+		switch e.Phase {
+		case 'X':
+			dur := float64(e.Dur) / 1e3
+			je.Dur = &dur
+		case 'i':
+			je.S = "t" // thread-scoped instant
+		case 'M':
+			je.TS = 0
+			je.Args = map[string]any{"name": e.Label}
+		}
+		if e.ArgName != "" {
+			if je.Args == nil {
+				je.Args = map[string]any{}
+			}
+			je.Args[e.ArgName] = e.Arg
+		}
+		out.TraceEvents = append(out.TraceEvents, je)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

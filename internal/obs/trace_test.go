@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace is not empty")
+	}
+	p := tr.NewProcess("run")
+	if p != nil {
+		t.Fatal("nil trace must yield a nil proc")
+	}
+	track := p.Thread("cpu")
+	if track != nil {
+		t.Fatal("nil proc must yield a nil track")
+	}
+	track.Span("a", "b", 0, 1)
+	track.Instant("a", "b", 0)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Fatalf("nil trace export malformed: %s", buf.String())
+	}
+}
+
+func TestTraceExportShape(t *testing.T) {
+	tr := NewTrace()
+	proc := tr.NewProcess("BUK/P")
+	cpu := proc.Thread("cpu")
+	faults := proc.Thread("faults")
+	cpu.Span("fault-service", "fault", 1000, 500)
+	cpu.SpanArg("user", "user", 1500, 2500, "ops", 12)
+	faults.InstantArg("late", "fault-class", 1700, "page", 42)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	// 2 metadata thread names + 1 process name + 3 events.
+	if len(out.TraceEvents) != 6 {
+		t.Fatalf("exported %d events, want 6", len(out.TraceEvents))
+	}
+	byName := map[string]map[string]any{}
+	for _, e := range out.TraceEvents {
+		byName[e["name"].(string)] = e
+	}
+	span := byName["fault-service"]
+	if span["ph"] != "X" || span["ts"] != 1.0 || span["dur"] != 0.5 {
+		t.Fatalf("span mis-exported: %v", span)
+	}
+	inst := byName["late"]
+	if inst["ph"] != "i" || inst["s"] != "t" || inst["cat"] != "fault-class" {
+		t.Fatalf("instant mis-exported: %v", inst)
+	}
+	if args, ok := inst["args"].(map[string]any); !ok || args["page"] != float64(42) {
+		t.Fatalf("instant args mis-exported: %v", inst)
+	}
+	meta := byName["process_name"]
+	if meta["ph"] != "M" {
+		t.Fatalf("metadata mis-exported: %v", meta)
+	}
+	if args, ok := meta["args"].(map[string]any); !ok || args["name"] != "BUK/P" {
+		t.Fatalf("process name lost: %v", meta)
+	}
+	// Both tracks share the process pid; distinct tids.
+	if byName["fault-service"]["pid"] != byName["late"]["pid"] {
+		t.Fatal("tracks of one process exported with different pids")
+	}
+	if byName["fault-service"]["tid"] == byName["late"]["tid"] {
+		t.Fatal("distinct tracks share a tid")
+	}
+}
+
+func TestTracePidsAreUnique(t *testing.T) {
+	tr := NewTrace()
+	a := tr.NewProcess("a")
+	b := tr.NewProcess("b")
+	at := a.Thread("t")
+	bt := b.Thread("t")
+	at.Span("x", "", 0, 1)
+	bt.Span("y", "", 0, 1)
+	evs := tr.Events()
+	var apid, bpid int64 = -1, -1
+	for _, e := range evs {
+		switch e.Name {
+		case "x":
+			apid = e.Pid
+		case "y":
+			bpid = e.Pid
+		}
+	}
+	if apid == bpid {
+		t.Fatalf("two processes share pid %d", apid)
+	}
+}

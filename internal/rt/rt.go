@@ -11,7 +11,10 @@
 // compiler-inserted prefetch goes straight to the OS.
 package rt
 
-import "repro/internal/vm"
+import (
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
 
 // Stats counts run-time-layer activity. InsertedPages is the denominator
 // of Figure 4(b)'s right-hand column: every page named by a
@@ -35,26 +38,66 @@ func (s Stats) UnnecessaryInsertedFrac() float64 {
 	return float64(s.FilteredPages) / float64(s.InsertedPages)
 }
 
+// counters holds the layer's metrics-registry handles ("rt.*"). The
+// filter path increments the plain Stats fields directly (the layer runs
+// on its run's single goroutine); Layer.Stats publishes them into these
+// handles with absolute stores, the layer being their sole writer.
+type counters struct {
+	insertedCalls, insertedPages, filteredPages *obs.Counter
+	issuedCalls, issuedPages, releasePages      *obs.Counter
+}
+
+func (c *counters) publish(s *Stats) {
+	c.insertedCalls.Store(s.InsertedCalls)
+	c.insertedPages.Store(s.InsertedPages)
+	c.filteredPages.Store(s.FilteredPages)
+	c.issuedCalls.Store(s.IssuedCalls)
+	c.issuedPages.Store(s.IssuedPages)
+	c.releasePages.Store(s.ReleasePages)
+}
+
 // Layer is one application's run-time layer instance.
 type Layer struct {
 	vm      *vm.VM
 	bv      *vm.BitVector
 	enabled bool
-	stats   Stats
+	n       Stats
+	c       counters
 }
 
 // Register attaches a run-time layer to an address space, sharing the OS
 // bit-vector page. If enabled is false the layer becomes a pass-through
-// (the Figure 4(c) configuration).
+// (the Figure 4(c) configuration). Accounting lands in a private metrics
+// registry; RegisterObserved shares one with the rest of the system.
 func Register(v *vm.VM, enabled bool) *Layer {
-	return &Layer{vm: v, bv: v.BitVector(), enabled: enabled}
+	return RegisterObserved(v, enabled, nil)
+}
+
+// RegisterObserved is Register with the layer's counters registered in
+// reg ("rt.*"); nil gets a private registry.
+func RegisterObserved(v *vm.VM, enabled bool, reg *obs.Registry) *Layer {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Layer{vm: v, bv: v.BitVector(), enabled: enabled, c: counters{
+		insertedCalls: reg.Counter("rt.inserted_calls"),
+		insertedPages: reg.Counter("rt.inserted_pages"),
+		filteredPages: reg.Counter("rt.filtered_pages"),
+		issuedCalls:   reg.Counter("rt.issued_calls"),
+		issuedPages:   reg.Counter("rt.issued_pages"),
+		releasePages:  reg.Counter("rt.release_pages"),
+	}}
 }
 
 // Enabled reports whether filtering is active.
 func (l *Layer) Enabled() bool { return l.enabled }
 
-// Stats returns a snapshot of the layer's counters.
-func (l *Layer) Stats() Stats { return l.stats }
+// Stats returns a snapshot of the layer's counters, publishing them into
+// the metrics registry as a side effect.
+func (l *Layer) Stats() Stats {
+	l.c.publish(&l.n)
+	return l.n
+}
 
 // Prefetch handles a compiler-inserted prefetch of n pages at page.
 func (l *Layer) Prefetch(page, n int64) { l.PrefetchRelease(page, n, 0, 0) }
@@ -68,13 +111,13 @@ func (l *Layer) Release(page, n int64) { l.PrefetchRelease(0, 0, page, n) }
 // in Figure 2): prefetch [pfPage, pfPage+pfN), release [relPage,
 // relPage+relN), with at most one system call.
 func (l *Layer) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
-	l.stats.InsertedCalls++
-	l.stats.InsertedPages += pfN
+	l.n.InsertedCalls++
+	l.n.InsertedPages += pfN
 
 	if !l.enabled {
-		l.stats.IssuedCalls++
-		l.stats.IssuedPages += pfN
-		l.stats.ReleasePages += relN
+		l.n.IssuedCalls++
+		l.n.IssuedPages += pfN
+		l.n.ReleasePages += relN
 		l.vm.PrefetchRelease(pfPage, pfN, relPage, relN)
 		return
 	}
@@ -90,16 +133,16 @@ func (l *Layer) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
 		}
 		p++
 	}
-	l.stats.FilteredPages += p - pfPage
+	l.n.FilteredPages += p - pfPage
 
 	if p == end && relN == 0 {
 		return // entire prefetch filtered, nothing to release: no syscall
 	}
 
 	issueN := end - p
-	l.stats.IssuedCalls++
-	l.stats.IssuedPages += issueN
-	l.stats.ReleasePages += relN
+	l.n.IssuedCalls++
+	l.n.IssuedPages += issueN
+	l.n.ReleasePages += relN
 	// Set the bits at issue time, as the paper specifies. If the OS drops
 	// the prefetch the bit is merely stale: the page faults on use, which
 	// is always safe, and the OS re-clears bits on reclaim.

@@ -91,6 +91,9 @@ type Clock struct {
 	interrupt func() error
 	advances  uint // counts AdvanceTo calls for the periodic interrupt poll
 
+	scheduled  int64 // events ever enqueued
+	dispatched int64 // events ever run
+
 	// DeadlockInfo, if set, is called to enrich the WaitFor deadlock
 	// panic with system state.
 	DeadlockInfo func() string
@@ -125,6 +128,13 @@ func (c *Clock) poll() {
 // Pending reports the number of scheduled events that have not yet run.
 func (c *Clock) Pending() int { return len(c.events) }
 
+// EventsScheduled reports how many events have ever been enqueued — one
+// of the clock's contributions to a run's metrics snapshot.
+func (c *Clock) EventsScheduled() int64 { return c.scheduled }
+
+// EventsDispatched reports how many events have ever run.
+func (c *Clock) EventsDispatched() int64 { return c.dispatched }
+
 // Schedule arranges for fn to run delay nanoseconds from now. A negative
 // delay is treated as zero. Events never run re-entrantly: they fire only
 // from Advance, AdvanceTo, or WaitFor.
@@ -142,6 +152,7 @@ func (c *Clock) At(t Time, fn func()) {
 		t = c.now
 	}
 	c.seq++
+	c.scheduled++
 	heap.Push(&c.events, event{when: t, seq: c.seq, fn: fn})
 }
 
@@ -169,6 +180,7 @@ func (c *Clock) AdvanceTo(t Time) {
 	for len(c.events) > 0 && c.events[0].when <= t {
 		e := heap.Pop(&c.events).(event)
 		c.now = e.when
+		c.dispatched++
 		e.fn()
 		c.poll()
 	}
@@ -193,6 +205,7 @@ func (c *Clock) WaitFor(cond func() bool) Time {
 		}
 		e := heap.Pop(&c.events).(event)
 		c.now = e.when
+		c.dispatched++
 		e.fn()
 		c.poll()
 	}
@@ -205,6 +218,7 @@ func (c *Clock) Drain() {
 	for len(c.events) > 0 {
 		e := heap.Pop(&c.events).(event)
 		c.now = e.when
+		c.dispatched++
 		e.fn()
 		c.poll()
 	}

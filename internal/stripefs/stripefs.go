@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -27,13 +28,22 @@ type FS struct {
 // each disk uses FCFS, matching the paper ("the disk scheduler treats
 // prefetches the same as normal disk read requests").
 func New(clock *sim.Clock, p hw.Params, mkSched func() disk.Scheduler) *FS {
+	return NewObserved(clock, p, mkSched, nil)
+}
+
+// NewObserved is New with the run's observability sinks attached: every
+// disk's counters register in o's registry and each disk gets its own
+// trace track ("disk 0" ... "disk N-1") on o's trace process.
+func NewObserved(clock *sim.Clock, p hw.Params, mkSched func() disk.Scheduler, o *obs.RunObs) *FS {
 	fs := &FS{clock: clock, p: p, nextBlock: make([]int64, p.NumDisks)}
+	reg := o.Registry()
 	for i := 0; i < p.NumDisks; i++ {
 		var s disk.Scheduler
 		if mkSched != nil {
 			s = mkSched()
 		}
-		fs.disks = append(fs.disks, disk.New(clock, p, i, s))
+		track := o.Thread(fmt.Sprintf("disk %d", i))
+		fs.disks = append(fs.disks, disk.NewObserved(clock, p, i, s, reg, track))
 	}
 	return fs
 }

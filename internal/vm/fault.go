@@ -64,7 +64,8 @@ func (v *VM) touchSlow(page int64) {
 	// in, the original fault was fully hidden.
 	if e.state == resident {
 		if e.prefetched {
-			v.stats.PrefetchedHits++
+			v.n.prefetchedHits++
+			v.trFaults.InstantArg("hit", "fault-class", v.clock.Now(), "page", page)
 			e.prefetched = false
 		}
 		e.touched = true
@@ -80,11 +81,12 @@ func (v *VM) touchSlow(page int64) {
 			return
 		}
 		classified = true
-		v.stats.MajorFaults++
 		if e.prefetched {
-			v.stats.PrefetchedFaults++
+			v.n.prefetchedFaults++
+			v.trFaults.InstantArg("late", "fault-class", v.clock.Now(), "page", page)
 		} else {
-			v.stats.NonPrefetchedFault++
+			v.n.nonPrefetchedFault++
+			v.trFaults.InstantArg("unprefetched", "fault-class", v.clock.Now(), "page", page)
 		}
 		e.prefetched = false
 	}
@@ -94,12 +96,13 @@ func (v *VM) touchSlow(page int64) {
 		case freeListed:
 			// Reclaim fault: the page is still in memory on the free
 			// list; rescuing it costs a short kernel entry but no I/O.
-			v.chargeSys(&v.t.SysFault, v.p.MinorFaultTime)
-			v.stats.MinorFaults++
+			v.chargeSys(&v.n.sysFault, "minor-fault", "fault", v.p.MinorFaultTime)
+			v.n.minorFaults++
 			v.rescueFromFree(e.frame)
 			e.state = resident
 			if !classified && !e.touched && e.prefetched {
-				v.stats.PrefetchedHits++
+				v.n.prefetchedHits++
+				v.trFaults.InstantArg("hit", "fault-class", v.clock.Now(), "page", page)
 				classified = true
 			}
 			e.prefetched = false
@@ -107,13 +110,13 @@ func (v *VM) touchSlow(page int64) {
 		case inTransit:
 			// A read is in flight but did not complete early enough:
 			// take the fault and stall for the remainder.
-			v.chargeSys(&v.t.SysFault, v.p.FaultServiceTime)
+			v.chargeSys(&v.n.sysFault, "fault-service", "fault", v.p.FaultServiceTime)
 			classifyFault()
-			v.t.Idle += v.clock.WaitFor(func() bool { return e.state != inTransit })
+			v.waitIdle("stall", func() bool { return e.state != inTransit })
 
 		case unmapped:
 			// Demand (major) fault: the full disk latency is exposed.
-			v.chargeSys(&v.t.SysFault, v.p.FaultServiceTime)
+			v.chargeSys(&v.n.sysFault, "fault-service", "fault", v.p.FaultServiceTime)
 			classifyFault()
 			f, _ := v.takeFrame(page, false)
 			e.frame = f
@@ -124,7 +127,7 @@ func (v *VM) touchSlow(page int64) {
 				func(int64) []byte { return v.frameData(f) },
 				func(p int64) { v.finishRead(p) },
 				nil)
-			v.t.Idle += v.clock.WaitFor(func() bool { return e.state != inTransit })
+			v.waitIdle("stall", func() bool { return e.state != inTransit })
 		}
 	}
 	e.touched = true

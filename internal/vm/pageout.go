@@ -22,7 +22,7 @@ func (v *VM) kickDaemon() {
 // free list (plus writes already in flight) reaches the high watermark.
 func (v *VM) daemonRun() {
 	v.daemonScheduled = false
-	v.stats.DaemonScans++
+	v.n.daemonScans++
 	target := v.p.HighWater()
 	budget := 2 * len(v.frames)
 	for v.freeCount+v.cleaningCount < target && budget > 0 {
@@ -82,7 +82,7 @@ func (v *VM) syncReclaim() {
 			panic("vm: out of memory: no evictable pages and no I/O in flight")
 		}
 		gen := v.ioGen
-		v.t.Idle += v.clock.WaitFor(func() bool {
+		v.waitIdle("memory-stall", func() bool {
 			return v.freeCount > 0 || v.ioGen != gen
 		})
 		if v.freeCount > 0 {
@@ -102,7 +102,7 @@ func (v *VM) startClean(page int64, toFree, front bool) {
 	e.toFree = toFree
 	e.front = front
 	v.cleaningCount++
-	v.stats.Writebacks++
+	v.n.writebacks++
 	v.file.Write(page, v.frameData(e.frame), func() {
 		v.cleaningCount--
 		v.ioGen++
@@ -135,6 +135,6 @@ func (v *VM) Finish() {
 		}
 	}
 	if v.cleaningCount > 0 {
-		v.t.Idle += v.clock.WaitFor(func() bool { return v.cleaningCount == 0 })
+		v.waitIdle("final-writeback", func() bool { return v.cleaningCount == 0 })
 	}
 }

@@ -21,10 +21,10 @@ func (v *VM) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
 	v.checkRange(relPage, relN)
 	v.flushUser()
 	cost := v.p.PrefetchSyscallTime + sim.Time(relN)*v.p.ReleasePerPageTime
-	v.chargeSys(&v.t.SysPrefetch, cost)
-	v.stats.PrefetchCalls++
+	v.chargeSys(&v.n.sysPrefetch, "prefetch-release", "prefetch", cost)
+	v.n.prefetchCalls++
 	if relN > 0 {
-		v.stats.ReleaseCalls++
+		v.n.releaseCalls++
 	}
 
 	// Releases first: they may free exactly the memory the prefetches in
@@ -79,15 +79,14 @@ func (v *VM) checkRange(page, n int64) {
 // whether a disk read must be started for it.
 func (v *VM) prefetchOne(p int64) bool {
 	e := &v.pt[p]
-	v.stats.PrefetchPagesSeen++
 	switch e.state {
 	case resident:
 		if e.cleaning && e.toFree && !e.front {
 			e.toFree = false // cancel a pending daemon eviction
 		}
-		v.stats.PrefetchUnneeded++
+		v.n.prefetchUnneeded++
 	case inTransit:
-		v.stats.PrefetchUnneeded++
+		v.n.prefetchUnneeded++
 	case freeListed:
 		// The page is in memory but on the free list: reclaiming it is
 		// useful work (the paper's footnote), not an unnecessary prefetch.
@@ -95,7 +94,7 @@ func (v *VM) prefetchOne(p int64) bool {
 		e.state = resident
 		e.prefetched = true
 		e.touched = false
-		v.stats.PrefetchRescues++
+		v.n.prefetchRescues++
 		v.bitvec.Set(p)
 	case unmapped:
 		// Hints are non-binding: the OS drops them "if there is not
@@ -104,22 +103,16 @@ func (v *VM) prefetchOne(p int64) bool {
 		// residency bit is cleared so the run-time layer does not
 		// believe a stale hint.
 		if v.file.QueueLenOf(p) > maxPrefetchQueue {
-			v.stats.PrefetchDropped++
-			e.prefetched = true
-			v.bitvec.Clear(p)
+			v.dropPrefetch(e, p)
 			return false
 		}
 		if v.freeCount <= 2 {
-			v.stats.PrefetchDropped++
-			e.prefetched = true
-			v.bitvec.Clear(p)
+			v.dropPrefetch(e, p)
 			return false
 		}
 		f, ok := v.takeFrame(p, true)
 		if !ok {
-			v.stats.PrefetchDropped++
-			e.prefetched = true
-			v.bitvec.Clear(p)
+			v.dropPrefetch(e, p)
 			return false
 		}
 		e.frame = f
@@ -127,11 +120,19 @@ func (v *VM) prefetchOne(p int64) bool {
 		v.inTransitCount++
 		e.prefetched = true
 		e.touched = false
-		v.stats.PrefetchIssued++
+		v.n.prefetchIssued++
 		v.bitvec.Set(p)
 		return true
 	}
 	return false
+}
+
+// dropPrefetch records a non-binding prefetch the OS declined.
+func (v *VM) dropPrefetch(e *pte, p int64) {
+	v.n.prefetchDropped++
+	v.trFaults.InstantArg("dropped", "prefetch", v.clock.Now(), "page", p)
+	e.prefetched = true
+	v.bitvec.Clear(p)
 }
 
 // releaseOne processes a single page of a release hint: clear its
@@ -139,7 +140,7 @@ func (v *VM) prefetchOne(p int64) bool {
 // if dirty.
 func (v *VM) releaseOne(p int64) {
 	e := &v.pt[p]
-	v.stats.ReleasedPages++
+	v.n.releasedPages++
 	v.bitvec.Clear(p)
 	if e.state != resident {
 		return // absent, in flight, or already free-listed: nothing to do
@@ -201,8 +202,8 @@ func (v *VM) Preload(page, n int64) int64 {
 // timed region is measured.
 func (v *VM) ResetAccounting() {
 	v.flushUser()
-	v.t = TimeStats{}
-	v.stats = Stats{}
+	v.n = tally{}
+	v.c.publish(&v.n)
 	v.freeIntegral = 0
 	v.lastFreeSample = v.clock.Now()
 	v.accountingStart = v.clock.Now()

@@ -1,6 +1,9 @@
 package vm
 
-import "repro/internal/sim"
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // TimeStats is the four-way execution-time breakdown of Figure 3(a):
 // user-mode compute (including prefetch address generation and run-time
@@ -75,4 +78,133 @@ func (s Stats) UnnecessaryAtOSFrac() float64 {
 		return 0
 	}
 	return float64(s.PrefetchUnneeded) / float64(s.PrefetchPagesSeen)
+}
+
+// tally is the VM's hot-path accounting: plain fields incremented
+// without synchronization, which is safe because a VM is driven by a
+// single goroutine (each run owns a private simulator). The registry
+// counters below are the export surface; every view read publishes the
+// tally into them first, so registry snapshots taken after Stats() or
+// Times() — which is how runs surface their metrics — are current.
+type tally struct {
+	// Time buckets, the four Figure 3(a) categories.
+	user, sysFault, sysPrefetch, idle sim.Time
+
+	// Fault classification and fault kinds. Major faults are not counted
+	// separately: every classified fault required disk I/O, so the view
+	// derives them as prefetched_fault + non_prefetched.
+	prefetchedHits, prefetchedFaults, nonPrefetchedFault int64
+	minorFaults                                          int64
+
+	// Prefetch activity at the OS interface. Pages seen is likewise
+	// derived: every page named in a hint lands in exactly one of
+	// issued/rescues/unneeded/dropped.
+	prefetchCalls, prefetchIssued                      int64
+	prefetchRescues, prefetchUnneeded, prefetchDropped int64
+
+	// Release and memory-manager activity.
+	releaseCalls, releasedPages, writebacks int64
+	reclaims, daemonScans                   int64
+}
+
+// counters is the VM's set of metrics-registry handles. The VM is the
+// sole writer of these names in its run's registry, so publish may use
+// absolute stores.
+type counters struct {
+	user, sysFault, sysPrefetch, idle *obs.Counter
+
+	prefetchedHits, prefetchedFaults, nonPrefetchedFault *obs.Counter
+	minorFaults                                          *obs.Counter
+
+	prefetchCalls, prefetchIssued                      *obs.Counter
+	prefetchRescues, prefetchUnneeded, prefetchDropped *obs.Counter
+
+	releaseCalls, releasedPages, writebacks *obs.Counter
+	reclaims, daemonScans                   *obs.Counter
+}
+
+// newCounters resolves the VM's counter handles in reg once.
+func newCounters(reg *obs.Registry) counters {
+	return counters{
+		user:        reg.Counter("vm.time.user_ns"),
+		sysFault:    reg.Counter("vm.time.sys_fault_ns"),
+		sysPrefetch: reg.Counter("vm.time.sys_prefetch_ns"),
+		idle:        reg.Counter("vm.time.idle_ns"),
+
+		prefetchedHits:     reg.Counter("vm.faults.prefetched_hit"),
+		prefetchedFaults:   reg.Counter("vm.faults.prefetched_fault"),
+		nonPrefetchedFault: reg.Counter("vm.faults.non_prefetched"),
+		minorFaults:        reg.Counter("vm.faults.minor"),
+
+		prefetchCalls:    reg.Counter("vm.prefetch.calls"),
+		prefetchIssued:   reg.Counter("vm.prefetch.issued"),
+		prefetchRescues:  reg.Counter("vm.prefetch.rescues"),
+		prefetchUnneeded: reg.Counter("vm.prefetch.unneeded"),
+		prefetchDropped:  reg.Counter("vm.prefetch.dropped"),
+
+		releaseCalls:  reg.Counter("vm.release.calls"),
+		releasedPages: reg.Counter("vm.release.pages"),
+		writebacks:    reg.Counter("vm.writebacks"),
+		reclaims:      reg.Counter("vm.reclaims"),
+		daemonScans:   reg.Counter("vm.daemon_scans"),
+	}
+}
+
+// publish stores the tally into the registry counters.
+func (c *counters) publish(n *tally) {
+	c.user.Store(int64(n.user))
+	c.sysFault.Store(int64(n.sysFault))
+	c.sysPrefetch.Store(int64(n.sysPrefetch))
+	c.idle.Store(int64(n.idle))
+
+	c.prefetchedHits.Store(n.prefetchedHits)
+	c.prefetchedFaults.Store(n.prefetchedFaults)
+	c.nonPrefetchedFault.Store(n.nonPrefetchedFault)
+	c.minorFaults.Store(n.minorFaults)
+
+	c.prefetchCalls.Store(n.prefetchCalls)
+	c.prefetchIssued.Store(n.prefetchIssued)
+	c.prefetchRescues.Store(n.prefetchRescues)
+	c.prefetchUnneeded.Store(n.prefetchUnneeded)
+	c.prefetchDropped.Store(n.prefetchDropped)
+
+	c.releaseCalls.Store(n.releaseCalls)
+	c.releasedPages.Store(n.releasedPages)
+	c.writebacks.Store(n.writebacks)
+	c.reclaims.Store(n.reclaims)
+	c.daemonScans.Store(n.daemonScans)
+}
+
+// stats assembles the Stats view. MajorFaults and PrefetchPagesSeen are
+// derived sums (see the tally doc).
+func (n *tally) stats() Stats {
+	s := Stats{
+		PrefetchedHits:     n.prefetchedHits,
+		PrefetchedFaults:   n.prefetchedFaults,
+		NonPrefetchedFault: n.nonPrefetchedFault,
+		MinorFaults:        n.minorFaults,
+		PrefetchCalls:      n.prefetchCalls,
+		PrefetchIssued:     n.prefetchIssued,
+		PrefetchRescues:    n.prefetchRescues,
+		PrefetchUnneeded:   n.prefetchUnneeded,
+		PrefetchDropped:    n.prefetchDropped,
+		ReleaseCalls:       n.releaseCalls,
+		ReleasedPages:      n.releasedPages,
+		Writebacks:         n.writebacks,
+		Reclaims:           n.reclaims,
+		DaemonScans:        n.daemonScans,
+	}
+	s.MajorFaults = s.PrefetchedFaults + s.NonPrefetchedFault
+	s.PrefetchPagesSeen = s.PrefetchIssued + s.PrefetchRescues + s.PrefetchUnneeded + s.PrefetchDropped
+	return s
+}
+
+// times assembles the TimeStats view.
+func (n *tally) times() TimeStats {
+	return TimeStats{
+		User:        n.user,
+		SysFault:    n.sysFault,
+		SysPrefetch: n.sysPrefetch,
+		Idle:        n.idle,
+	}
 }

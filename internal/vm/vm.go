@@ -15,6 +15,7 @@ import (
 	"math/bits"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stripefs"
 )
@@ -89,9 +90,6 @@ type VM struct {
 
 	bitvec *BitVector
 
-	t     TimeStats
-	stats Stats
-
 	// Time-weighted free-frame integral for Table 3's "% memory free".
 	freeIntegral    float64
 	lastFreeSample  sim.Time
@@ -100,6 +98,16 @@ type VM struct {
 	// Allocation bump pointer, in pages.
 	allocPages int64
 	regions    []Region
+
+	// Hot-path accounting (plain fields; see tally in stats.go), the
+	// registry handles it publishes to, and trace tracks. The tracks are
+	// nil when tracing is off: each emission is then one nil check. Last
+	// in the struct so the frequently-touched fields above keep small
+	// offsets.
+	n        tally
+	c        counters
+	trCPU    *obs.Track // kernel/user/idle spans, one per VM core
+	trFaults *obs.Track // fault-classification instants
 }
 
 // Region records one named allocation in the address space.
@@ -112,8 +120,16 @@ type Region struct {
 
 // New creates a virtual memory system of p.Frames() frames over the given
 // backing file. The virtual address space is the file: file page i is
-// virtual page i.
+// virtual page i. Accounting lands in a private metrics registry and
+// tracing is off; NewObserved shares both with the rest of the system.
 func New(clock *sim.Clock, p hw.Params, file *stripefs.File) *VM {
+	return NewObserved(clock, p, file, nil)
+}
+
+// NewObserved is New with the run's observability sinks attached: the
+// VM's counters register in o's registry and its spans and
+// fault-classification instants go to tracks of o's trace process.
+func NewObserved(clock *sim.Clock, p hw.Params, file *stripefs.File, o *obs.RunObs) *VM {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
@@ -135,6 +151,9 @@ func New(clock *sim.Clock, p hw.Params, file *stripefs.File) *VM {
 	for i := range v.frames {
 		v.frames[i].vpage = -1
 	}
+	v.c = newCounters(o.Registry())
+	v.trCPU = o.Thread("cpu")
+	v.trFaults = o.Thread("faults")
 	// All frames start free (with no content).
 	for i := int32(0); i < int32(nf); i++ {
 		v.pushFreeBack(i)
@@ -153,13 +172,19 @@ func (v *VM) Clock() *sim.Clock { return v.clock }
 // this at registration).
 func (v *VM) BitVector() *BitVector { return v.bitvec }
 
-// Stats returns a snapshot of the event counters.
-func (v *VM) Stats() Stats { return v.stats }
+// Stats returns a snapshot of the event counters, publishing them into
+// the metrics registry as a side effect (so a registry snapshot taken
+// after any view read is current).
+func (v *VM) Stats() Stats {
+	v.c.publish(&v.n)
+	return v.n.stats()
+}
 
 // Times returns a snapshot of the time breakdown, with any pending user
-// compute folded in.
+// compute folded in. Like Stats, it publishes to the metrics registry.
 func (v *VM) Times() TimeStats {
-	t := v.t
+	v.c.publish(&v.n)
+	t := v.n.times()
 	t.User += sim.Time(v.pendingUserOps) * v.p.OpTime
 	return t
 }
@@ -219,13 +244,26 @@ func (v *VM) flushUser() {
 	}
 	t := sim.Time(v.pendingUserOps) * v.p.OpTime
 	v.pendingUserOps = 0
-	v.t.User += t
+	v.n.user += t
+	v.trCPU.Span("user", "user", v.clock.Now(), t)
 	v.clock.Advance(t)
 }
 
-func (v *VM) chargeSys(bucket *sim.Time, t sim.Time) {
+// chargeSys accounts system time to a tally bucket and advances the
+// clock, emitting a span named for the kernel operation.
+func (v *VM) chargeSys(bucket *sim.Time, name, cat string, t sim.Time) {
 	*bucket += t
+	v.trCPU.Span(name, cat, v.clock.Now(), t)
 	v.clock.Advance(t)
+}
+
+// waitIdle stalls until cond holds, accounting the wait as idle time and
+// emitting an idle span.
+func (v *VM) waitIdle(name string, cond func() bool) {
+	start := v.clock.Now()
+	d := v.clock.WaitFor(cond)
+	v.n.idle += d
+	v.trCPU.Span(name, "idle", start, d)
 }
 
 // ---- free-queue bookkeeping -------------------------------------------
@@ -332,7 +370,7 @@ func (v *VM) takeFrame(vpage int64, mayFail bool) (int32, bool) {
 		if f, ok := v.popFree(); ok {
 			if old := v.frames[f].vpage; old >= 0 {
 				v.invalidate(old)
-				v.stats.Reclaims++
+				v.n.reclaims++
 			}
 			v.frames[f].vpage = vpage
 			if v.freeCount < v.p.LowWater() {

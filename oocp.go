@@ -36,6 +36,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/lang"
 	"repro/internal/nas"
+	"repro/internal/obs"
 	"repro/internal/stripefs"
 )
 
@@ -90,6 +91,29 @@ type ProgressFunc = bench.ProgressFunc
 // JobMetric records one experiment job's wall-clock cost, attempts, and
 // outcome.
 type JobMetric = bench.JobMetric
+
+// Trace collects a Chrome-trace-event timeline of simulated runs: one
+// process per run with tracks for the VM core, each disk, and
+// fault-classification instants, plus one process for the worker pool.
+// Attach one via Config.Trace, RunOptions.Trace, or SuiteOptions.Trace
+// and export it with WriteJSON; the file loads in Perfetto or
+// chrome://tracing. A nil *Trace disables tracing at the cost of one nil
+// check per event.
+type Trace = obs.Trace
+
+// Metrics is the typed metrics registry every layer's counters and
+// gauges register in. Attach one via Config.Metrics, RunOptions.Metrics,
+// or SuiteOptions.Metrics to collect several runs side by side
+// (per-run names gain "<label>/" prefixes), and export a flat JSON
+// snapshot with WriteJSON. The per-run statistics structs (vm, disk,
+// run-time layer) are views assembled from this registry.
+type Metrics = obs.Registry
+
+// NewTrace returns an empty trace collector.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // ParseProgram compiles source text in the front-end loop language into a
 // Program.
