@@ -11,11 +11,12 @@ BENCH_PKGS = ./internal/obs ./internal/vm
 # allocator and scheduler noise enough for a 15% gate.
 BENCH_FLAGS = -bench=. -benchmem -benchtime 200ms -count 3 -run '^$$'
 
-.PHONY: ci fmt-check vet staticcheck build test race bench bench-check bench-baseline
+.PHONY: ci fmt-check vet staticcheck build test race fuzz test-faults bench bench-check bench-baseline
 
-# ci is the gate: formatting, static checks, build, tests, and the
-# race-detector pass over the concurrent experiment runner.
-ci: fmt-check vet staticcheck build test race
+# ci is the gate: formatting, static checks, build, tests, the
+# race-detector pass over the concurrent experiment runner, and a
+# short-budget fuzz of the fault plane.
+ci: fmt-check vet staticcheck build test race fuzz
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -49,6 +50,19 @@ test:
 # detector.
 race:
 	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/core/... ./internal/obs/... .
+
+# fuzz runs the fault-schedule fuzzer briefly: arbitrary fault profiles
+# through a small kernel, asserting termination and byte-identical
+# results (FUZZTIME=5m for a real session).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/fault/ -run '^$$' -fuzz FuzzFaultSchedule -fuzztime $(FUZZTIME)
+
+# test-faults runs the fault-injection property matrix: the harness
+# (NAS proxies × profiles, example kernels, byte-identical output) plus
+# every layer's fault-path tests.
+test-faults:
+	$(GO) test ./internal/fault/... ./internal/disk ./internal/stripefs ./internal/vm ./internal/rt
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -5,7 +5,7 @@
 //	oocbench [-exp all|table1|table2|fig3|fig4|fig5|table3|fig6|fig7|fig8|ablate]
 //	         [-scale F] [-ratio F] [-mem MB]
 //	         [-parallel N] [-timeout D] [-progress]
-//	         [-trace FILE] [-metrics FILE]
+//	         [-faults SPEC] [-trace FILE] [-metrics FILE]
 //
 // -scale multiplies every application's problem size (1 = standard);
 // -ratio overrides the data:memory ratio (0 = each app's standard);
@@ -17,6 +17,15 @@
 // are collected by index, so parallel output is byte-identical to a
 // serial run; Ctrl-C cancels in-flight runs cleanly. Sub-figure names
 // (fig3a, fig4b, ...) are accepted as aliases for their figure.
+//
+// -faults injects a deterministic fault profile into every NAS suite
+// run (the fig3/fig4/fig5/table3 experiments): transient disk errors,
+// latency spikes, brownouts, and pressure-dropped prefetches. The spec
+// is a profile name ("brownout") or "key=value" pairs
+// ("profile=chaos,seed=7"); hints are non-binding, so results are
+// unchanged — only timing and the fault.* / disk.*.retries counters
+// move. Combining -faults with an experiment that runs no suite is a
+// usage error rather than a silent no-op.
 //
 // -trace writes a Chrome trace-event JSON timeline of every simulated
 // run (load it in Perfetto or chrome://tracing); -metrics writes a flat
@@ -49,6 +58,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
 	progress := flag.Bool("progress", false, "report per-run progress on stderr")
+	faultSpec := flag.String("faults", "", `fault profile for suite runs ("brownout", "profile=chaos,seed=7", ...)`)
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	metricsPath := flag.String("metrics", "", "write a flat JSON metrics snapshot to this file")
 	flag.Parse()
@@ -131,6 +141,18 @@ func main() {
 		return false
 	}
 
+	var faults *oocp.FaultProfile
+	if *faultSpec != "" {
+		prof, err := oocp.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			usage("%v", err)
+		}
+		if !needSuite() {
+			usage("-faults applies to the NAS suite experiments (all, fig3, fig4, fig5, table3), not -exp %s", *exp)
+		}
+		faults = &prof
+	}
+
 	if *exp == "all" || *exp == "table1" {
 		oocp.Table1(w)
 		fmt.Fprintln(w)
@@ -150,6 +172,7 @@ func main() {
 			Progress:    progressFn,
 			Trace:       trace,
 			Metrics:     metrics,
+			Faults:      faults,
 		})
 		fail(err)
 		fmt.Fprintln(w)

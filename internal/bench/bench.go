@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/nas"
 	"repro/internal/obs"
@@ -74,6 +75,10 @@ type RunOptions struct {
 	// Label is the trace/metrics prefix for this app's runs; empty means
 	// the app name.
 	Label string
+	// Faults, if non-nil and enabled, injects the deterministic fault
+	// profile into every variant run (core.Config.Faults). Results are
+	// unchanged by construction; timing and fault counters are not.
+	Faults *fault.Profile
 }
 
 // SuiteOptions configure a whole-suite run.
@@ -99,6 +104,9 @@ type SuiteOptions struct {
 	// Metrics, if non-nil, receives every run's counters merged under
 	// "<app>/<variant>/" prefixes plus the pool's own runner.* counters.
 	Metrics *obs.Registry
+	// Faults, if non-nil and enabled, injects the deterministic fault
+	// profile into every run of the suite.
+	Faults *fault.Profile
 }
 
 func (o SuiteOptions) runner() *Runner {
@@ -111,6 +119,21 @@ func (o SuiteOptions) runner() *Runner {
 type sinks struct {
 	trace   *obs.Trace
 	metrics *obs.Registry
+}
+
+// withFaults composes a config mutator with a fault profile: the profile
+// is applied after the caller's mutator, so a harness-level fault option
+// wins over per-variant adjustments.
+func withFaults(mutate func(*core.Config), prof *fault.Profile) func(*core.Config) {
+	if prof == nil {
+		return mutate
+	}
+	return func(c *core.Config) {
+		if mutate != nil {
+			mutate(c)
+		}
+		c.Faults = prof
+	}
 }
 
 // appConfig resolves one app at (scale, ratio) into its base run
@@ -205,14 +228,15 @@ func RunAppContext(ctx context.Context, app *nas.App, opts RunOptions) (*AppResu
 	if ratio <= 0 {
 		ratio = app.Ratio()
 	}
-	cfg, data, err := appConfig(app, scale, ratio, opts.ConfigMutator)
+	mutate := withFaults(opts.ConfigMutator, opts.Faults)
+	cfg, data, err := appConfig(app, scale, ratio, mutate)
 	if err != nil {
 		return nil, err
 	}
 	out := &AppResult{Name: app.Name, DataBytes: data, Machine: cfg.Machine}
 	r := &Runner{Parallelism: opts.Parallelism, Timeout: opts.Timeout}
 	snk := sinks{trace: opts.Trace, metrics: opts.Metrics}
-	if _, err := r.Run(ctx, appVariantJobs(app, scale, ratio, opts.ConfigMutator, opts.WithNoRT, out, snk, opts.Label)); err != nil {
+	if _, err := r.Run(ctx, appVariantJobs(app, scale, ratio, mutate, opts.WithNoRT, out, snk, opts.Label)); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -245,18 +269,19 @@ func RunSuiteContext(ctx context.Context, opts SuiteOptions) ([]*AppResult, erro
 	apps := nas.Apps()
 	results := make([]*AppResult, len(apps))
 	snk := sinks{trace: opts.Trace, metrics: opts.Metrics}
+	mutate := withFaults(opts.ConfigMutator, opts.Faults)
 	var jobs []Job
 	for i, app := range apps {
 		ratio := opts.Ratio
 		if ratio <= 0 {
 			ratio = app.Ratio()
 		}
-		cfg, data, err := appConfig(app, scale, ratio, opts.ConfigMutator)
+		cfg, data, err := appConfig(app, scale, ratio, mutate)
 		if err != nil {
 			return nil, err
 		}
 		results[i] = &AppResult{Name: app.Name, DataBytes: data, Machine: cfg.Machine}
-		jobs = append(jobs, appVariantJobs(app, scale, ratio, opts.ConfigMutator, opts.WithNoRT, results[i], snk, "")...)
+		jobs = append(jobs, appVariantJobs(app, scale, ratio, mutate, opts.WithNoRT, results[i], snk, "")...)
 	}
 	if _, err := opts.runner().Run(ctx, jobs); err != nil {
 		return nil, err

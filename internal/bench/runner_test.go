@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/nas"
 	"repro/internal/obs"
 )
@@ -222,6 +223,78 @@ func TestRunnerProgressCounts(t *testing.T) {
 	for i, p := range got {
 		if p.Done != i+1 || p.Total != 10 {
 			t.Fatalf("progress %d = %+v", i, p)
+		}
+	}
+}
+
+// Concurrent suite runs under a fault profile (run under -race in CI):
+// every job injects faults and merges its counters into one shared
+// registry, and the per-run "<app>/<variant>/" metric prefixes must not
+// interleave — each prefix carries exactly its own run's deterministic
+// values, so two parallel runs snapshot identically (modulo the pool's
+// wall-clock tally) and each prefix's fault counters match the result
+// that run returned.
+func TestRunnerFaultProfilesConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the suite twice")
+	}
+	prof, ok := fault.ProfileByName("chaos")
+	if !ok {
+		t.Fatal("chaos profile missing")
+	}
+	prof.Seed = 11
+	run := func() (obs.Snapshot, []*AppResult) {
+		reg := obs.NewRegistry()
+		rs, err := RunSuiteContext(context.Background(), SuiteOptions{
+			Scale:       0.15,
+			Parallelism: 8,
+			Metrics:     reg,
+			Faults:      &prof,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot(), rs
+	}
+	s1, r1 := run()
+	s2, _ := run()
+
+	// Determinism across parallel runs: identical counter sets and values
+	// except the pool's wall-clock tally.
+	if len(s1.Counters) != len(s2.Counters) {
+		t.Fatalf("counter sets differ: %d vs %d", len(s1.Counters), len(s2.Counters))
+	}
+	for name, v1 := range s1.Counters {
+		if name == "runner.wall_ns" {
+			continue
+		}
+		if v2, ok := s2.Counters[name]; !ok || v1 != v2 {
+			t.Errorf("%s: %d vs %d across identical parallel runs", name, v1, v2)
+		}
+	}
+
+	// Prefix integrity: each run's fault counters landed under its own
+	// prefix with exactly the values that run reported.
+	for _, a := range r1 {
+		if a.P.Faults.Total() == 0 {
+			t.Errorf("%s/P: chaos profile injected nothing", a.Name)
+		}
+		for prefix, want := range map[string]fault.Counts{
+			a.Name + "/O/": a.O.Faults,
+			a.Name + "/P/": a.P.Faults,
+		} {
+			checks := map[string]int64{
+				prefix + "fault.read_errors":       want.ReadErrors,
+				prefix + "fault.write_errors":      want.WriteErrors,
+				prefix + "fault.slowdowns":         want.Slowdowns,
+				prefix + "fault.brownout_failures": want.BrownoutFailures,
+				prefix + "fault.prefetch_drops":    want.PrefetchDrops,
+			}
+			for name, want := range checks {
+				if got := s1.Counters[name]; got != want {
+					t.Errorf("%s = %d, want %d (prefix interleaved?)", name, got, want)
+				}
+			}
 		}
 	}
 }

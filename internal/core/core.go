@@ -15,6 +15,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/disk"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -75,6 +76,15 @@ type Config struct {
 	// in, so one run's metrics land beside others'. Nil gives the run a
 	// private registry, returned in Result.Metrics either way.
 	Metrics *obs.Registry
+
+	// Faults, if non-nil and enabled, injects deterministic faults into
+	// the run: per-disk transient read/write errors and latency spikes,
+	// whole-disk brownouts, and synthetic memory-pressure spikes that drop
+	// prefetch hints. Results are unaffected by construction — hints are
+	// non-binding and demand I/O retries until it succeeds — only timing
+	// and the fault/degradation counters change. The profile must
+	// Validate; use fault.ProfileByName or fault.ParseSpec.
+	Faults *fault.Profile
 }
 
 // DefaultConfig returns the standard prefetching configuration.
@@ -124,6 +134,10 @@ type Result struct {
 	// or the run's private registry). Times/Mem/RT/DiskStats above are
 	// views assembled from it.
 	Metrics *obs.Registry
+
+	// Faults tallies what the fault plane injected (all zero when
+	// Config.Faults was nil or disabled).
+	Faults fault.Counts
 }
 
 // Speedup returns how much faster this run is than base:
@@ -215,6 +229,17 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		return nil, err
 	}
 	v := vm.NewObserved(clock, machine, file, o)
+	var inj *fault.Injector
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		// The injector's trace track exists only when faults are on, so
+		// fault-free traces keep their exact golden shape.
+		inj = fault.NewInjector(*cfg.Faults, reg, o.Thread("fault-injector"))
+		fs.SetFaults(inj)
+		v.SetFaults(inj)
+	}
 	layer := rt.RegisterObserved(v, cfg.RuntimeFilter || !cfg.Prefetch, reg)
 	m, err := exec.New(execProg, v, layer)
 	if err != nil {
@@ -255,6 +280,7 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		RT:      layer.Stats(),
 		AvgFree: v.AvgFreeFrac(),
 		Metrics: reg,
+		Faults:  inj.Counts(),
 	}
 	if smp != nil {
 		r.Timeline = smp.stop()

@@ -8,6 +8,7 @@ package disk
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -41,11 +42,23 @@ func (k Kind) String() string {
 // Request is one I/O operation against a single disk. Block addresses are
 // disk-local page numbers; Pages contiguous pages are transferred in one
 // media pass. Done, if non-nil, runs at completion time.
+//
+// Under fault injection a service attempt may fail transiently; the disk
+// then retries in place with exponential backoff under its
+// fault.RetryPolicy. When the policy is exhausted (attempt count or the
+// per-request time budget), Failed, if non-nil, runs instead of Done and
+// the request is over — the layer above decides what a permanent failure
+// means (stripefs requeues demand reads and write-backs, abandons
+// prefetches). A nil Failed means the request cannot be allowed to fail:
+// the disk keeps retrying with capped backoff until the attempt
+// succeeds, which terminates because injected failure rates are below
+// fault.MaxRate and brownouts end.
 type Request struct {
-	Block int64
-	Pages int64
-	Kind  Kind
-	Done  func()
+	Block  int64
+	Pages  int64
+	Kind   Kind
+	Done   func()
+	Failed func()
 }
 
 // Stats accumulates per-disk activity. The service path increments the
@@ -56,9 +69,11 @@ type Request struct {
 // "disk.<id>.busy_ns"), so registry snapshots taken after a view read
 // are current.
 type Stats struct {
-	Requests [numKinds]int64 // request count by kind
+	Requests [numKinds]int64 // request count by kind (requeues count anew)
 	Pages    [numKinds]int64 // pages moved by kind
 	BusyTime sim.Time        // total time the arm/media was busy
+	Retries  int64           // failed service attempts that were retried
+	Failures int64           // requests permanently failed to their Failed handler
 }
 
 // counters holds a disk's metrics-registry handles. The disk is the sole
@@ -68,6 +83,8 @@ type counters struct {
 	requests [numKinds]*obs.Counter
 	pages    [numKinds]*obs.Counter
 	busy     *obs.Counter
+	retries  *obs.Counter
+	failures *obs.Counter
 }
 
 func newCounters(reg *obs.Registry, id int) counters {
@@ -77,6 +94,8 @@ func newCounters(reg *obs.Registry, id int) counters {
 		c.pages[k] = reg.Counter(fmt.Sprintf("disk.%d.pages.%s", id, k))
 	}
 	c.busy = reg.Counter(fmt.Sprintf("disk.%d.busy_ns", id))
+	c.retries = reg.Counter(fmt.Sprintf("disk.%d.retries", id))
+	c.failures = reg.Counter(fmt.Sprintf("disk.%d.failures", id))
 	return c
 }
 
@@ -86,6 +105,8 @@ func (c *counters) publish(s *Stats) {
 		c.pages[k].Store(s.Pages[k])
 	}
 	c.busy.Store(int64(s.BusyTime))
+	c.retries.Store(s.Retries)
+	c.failures.Store(s.Failures)
 }
 
 // RequestsTotal returns the total request count across kinds.
@@ -172,6 +193,9 @@ type Disk struct {
 	c       counters
 	track   *obs.Track // service-time spans; nil when tracing is off
 	depthHi int        // high-water queue depth, for diagnostics
+
+	flt   *fault.Injector   // nil injects nothing
+	retry fault.RetryPolicy // normalized; zero value only before SetFaults
 }
 
 // New returns an idle disk. If sched is nil, FCFS is used. Accounting
@@ -196,6 +220,14 @@ func NewObserved(clock *sim.Clock, p hw.Params, id int, sched Scheduler, reg *ob
 
 // ID returns the disk's index within its array.
 func (d *Disk) ID() int { return d.id }
+
+// SetFaults attaches a fault injector (nil detaches) and adopts its
+// retry policy. Call before submitting requests; mid-run changes would
+// not be wrong, just hard to reason about.
+func (d *Disk) SetFaults(inj *fault.Injector) {
+	d.flt = inj
+	d.retry = inj.Retry()
+}
 
 // Stats returns a snapshot of the disk's accumulated statistics,
 // publishing them into the metrics registry as a side effect.
@@ -254,21 +286,74 @@ func (d *Disk) startNext() {
 	r := d.queue[i]
 	d.queue = append(d.queue[:i], d.queue[i+1:]...)
 	d.busy = true
-
-	t := d.ServiceTime(d.headCyl, r)
-	d.headCyl = (r.Block + r.Pages - 1) / d.p.PagesPerCyl
-	d.n.BusyTime += t
 	d.n.Requests[r.Kind]++
 	d.n.Pages[r.Kind] += r.Pages
+	if d.flt == nil {
+		// Fault-free fast path: service in place so the common case pays
+		// nothing for the retry machinery (no attempt frame, no extra
+		// clock read, no verdict).
+		t := d.ServiceTime(d.headCyl, r)
+		d.headCyl = (r.Block + r.Pages - 1) / d.p.PagesPerCyl
+		d.n.BusyTime += t
+		if d.track != nil { // guard: Kind.String is a call even when untraced
+			d.track.SpanArg(r.Kind.String(), "disk", d.clock.Now(), t, "block", r.Block)
+		}
+		// Capture only the completion callback, not the whole request: the
+		// closure is allocated per serviced request, and a full Request in
+		// its environment would cost 40 extra heap bytes each time.
+		done := r.Done
+		d.clock.Schedule(t, func() {
+			if done != nil {
+				done()
+			}
+			d.startNext()
+		})
+		return
+	}
+	d.attempt(r, 1, d.clock.Now())
+}
+
+// attempt services one try of a request. On injected failure it retries
+// in place — the request keeps the disk (a serial server) and the next
+// attempt starts after the positional service time plus exponential
+// backoff — until it succeeds or the retry policy is exhausted (attempt
+// count, or the per-request time budget measured from the first
+// attempt). Backoff delays keep the disk busy for scheduling purposes
+// but are idle time, not BusyTime.
+func (d *Disk) attempt(r Request, attempt int, started sim.Time) {
+	t := d.ServiceTime(d.headCyl, r)
+	v := d.flt.Attempt(d.id, r.Kind == Write, d.clock.Now())
+	if v.Slow > 1 {
+		t = sim.Time(float64(t) * v.Slow)
+	}
+	d.headCyl = (r.Block + r.Pages - 1) / d.p.PagesPerCyl
+	d.n.BusyTime += t
 	if d.track != nil { // guard: Kind.String is a call even when untraced
 		d.track.SpanArg(r.Kind.String(), "disk", d.clock.Now(), t, "block", r.Block)
 	}
 
-	d.clock.Schedule(t, func() {
-		if r.Done != nil {
-			r.Done()
-		}
-		d.startNext()
+	if !v.Fail {
+		d.clock.Schedule(t, func() {
+			if r.Done != nil {
+				r.Done()
+			}
+			d.startNext()
+		})
+		return
+	}
+	backoff := d.retry.Backoff(attempt)
+	overBudget := d.retry.Timeout > 0 && d.clock.Now()+t+backoff-started > d.retry.Timeout
+	if r.Failed != nil && (attempt >= d.retry.MaxAttempts || overBudget) {
+		d.n.Failures++
+		d.clock.Schedule(t, func() {
+			r.Failed()
+			d.startNext()
+		})
+		return
+	}
+	d.n.Retries++
+	d.clock.Schedule(t+backoff, func() {
+		d.attempt(r, attempt+1, started)
 	})
 }
 

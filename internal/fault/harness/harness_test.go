@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/nas"
+	"repro/internal/stripefs"
+)
+
+// matrixProfiles are the seeded fault workloads of the property matrix,
+// one per injectable fault family plus the everything-at-once profile.
+var matrixProfiles = []string{"flaky", "slow", "pressure", "brownout", "chaos"}
+
+// matrixApps picks the NAS proxies of the property matrix: six kernels
+// spanning the paper's access patterns (bucket sort, sparse CG, embar,
+// multigrid, the two dense solvers' representative, and FFT's
+// out-of-core transpose).
+func matrixApps() []*nas.App {
+	pick := map[string]bool{"BUK": true, "CGM": true, "EMBAR": true,
+		"MGRID": true, "APPLU": true, "FFT": true}
+	var out []*nas.App
+	for _, a := range nas.Apps() {
+		if pick[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TestNASMatrixByteIdentical is the property matrix of ISSUE 4: each
+// kernel runs fault-free once (the golden), then once per seeded
+// profile; every faulted run must fingerprint identically to the
+// golden, pass the app's reference check, and leave the VM invariants
+// intact. The aggressive profiles must also demonstrably inject — a
+// matrix that never fires proves nothing.
+func TestNASMatrixByteIdentical(t *testing.T) {
+	apps := matrixApps()
+	profiles := matrixProfiles
+	if testing.Short() {
+		apps = apps[:2]
+		profiles = []string{"flaky", "chaos"}
+	}
+	for ai, app := range apps {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			k, err := App(app, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clean, cleanSum, err := Run(k, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := clean.Faults.Total(); n != 0 {
+				t.Fatalf("fault-free golden injected %d faults", n)
+			}
+			for pi, name := range profiles {
+				prof, ok := fault.ProfileByName(name)
+				if !ok {
+					t.Fatalf("unknown profile %q", name)
+				}
+				prof.Seed = uint64(1 + 100*ai + pi)
+				t.Run(name, func(t *testing.T) {
+					rep, err := CheckAgainst(k, prof, clean, cleanSum)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Faulted.Faults.Total() == 0 {
+						t.Fatalf("profile %q seed %d injected nothing — vacuous pass", name, prof.Seed)
+					}
+				})
+			}
+		})
+	}
+}
+
+// exampleSeed seeds the examples/kernels corpus the way the root-level
+// corpus test does: deterministic float inputs, and bounded non-negative
+// values for the one index array ("sample") so gathers stay in range.
+func exampleSeed(prog *ir.Program, file *stripefs.File, pageSize int64) {
+	f64 := map[string]func(int64) float64{
+		"A": func(i int64) float64 { return float64(i%11) / 3 },
+		"B": func(i int64) float64 { return float64(i%7) / 5 },
+		"x": func(i int64) float64 { return float64(i % 5) },
+	}
+	i64 := map[string]func(int64) int64{
+		"sample": func(i int64) int64 { return (i*2654435761 + 7) & ((1 << 30) - 1) },
+	}
+	for name, gen := range f64 {
+		if a := prog.ArrayByName(name); a != nil {
+			exec.SeedF64(file, pageSize, a, gen)
+		}
+	}
+	for name, gen := range i64 {
+		if a := prog.ArrayByName(name); a != nil {
+			exec.SeedI64(file, pageSize, a, gen)
+		}
+	}
+}
+
+// TestExampleKernelsByteIdentical runs every example kernel under the
+// everything-at-once chaos profile and the brownout profile, asserting
+// byte-identical output versus the fault-free run ("every example
+// kernel and NAS proxy", acceptance criterion 3).
+func TestExampleKernelsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example corpus covered at full length only")
+	}
+	files, err := filepath.Glob("../../../examples/kernels/*.loop")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no kernel corpus found: %v", err)
+	}
+	for fi, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			build := func() *ir.Program {
+				p, err := lang.Parse(string(src))
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				return p
+			}
+			prog := build()
+			ps := hw.Default().PageSize
+			if err := prog.Resolve(ps); err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig(core.MachineFor(nas.DataBytes(prog, ps), 2))
+			cfg.Seed = exampleSeed
+			k := Kernel{Name: filepath.Base(path), Build: build, Cfg: cfg}
+			clean, cleanSum, err := Run(k, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pi, name := range []string{"chaos", "brownout"} {
+				prof, _ := fault.ProfileByName(name)
+				prof.Seed = uint64(1 + 10*fi + pi)
+				if _, err := CheckAgainst(k, prof, clean, cleanSum); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestFingerprintSeesEveryWord guards the harness itself: a fingerprint
+// that ignored part of the address space would pass divergent runs.
+func TestFingerprintSeesEveryWord(t *testing.T) {
+	src := `
+program tiny
+param n = 1 << 10
+array double a[n]
+for i = 0 .. n {
+    a[i] = 1
+}
+`
+	build := func() *ir.Program {
+		p, err := lang.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	prog := build()
+	ps := hw.Default().PageSize
+	if err := prog.Resolve(ps); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.MachineFor(nas.DataBytes(prog, ps), 2))
+	k := Kernel{Name: "tiny", Build: build, Cfg: cfg}
+	res, sum, err := Run(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one word anywhere in the space: the fingerprint must move.
+	arr := res.Prog.Arrays[0]
+	for _, i := range []int64{0, arr.Elems / 2, arr.Elems - 1} {
+		res.VM.StoreF64(arr.Base+i*8, 42)
+		if got := Fingerprint(res); got == sum {
+			t.Fatalf("fingerprint blind to word %d", i)
+		}
+		res.VM.StoreF64(arr.Base+i*8, 1)
+		if got := Fingerprint(res); got != sum {
+			t.Fatalf("fingerprint not a pure function of contents at word %d", i)
+		}
+	}
+}

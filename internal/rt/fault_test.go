@@ -1,0 +1,81 @@
+package rt
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stripefs"
+	"repro/internal/vm"
+)
+
+// newFaultySystem is newSystem with a fault injector attached to the
+// disks and the VM, as core wires it.
+func newFaultySystem(t testing.TB, frames, spacePages int64, prof fault.Profile) (*sim.Clock, *vm.VM) {
+	t.Helper()
+	p := hw.Default()
+	p.MemoryBytes = frames * p.PageSize
+	c := sim.NewClock()
+	fs := stripefs.New(c, p, nil)
+	f, err := fs.Create("space", spacePages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(c, p, f)
+	inj := fault.NewInjector(prof, nil, nil)
+	fs.SetFaults(inj)
+	v.SetFaults(inj)
+	return c, v
+}
+
+// The run-time layer sets residency bits at issue time; a prefetch the
+// fault plane then drops or abandons leaves the bit stale. Stale bits
+// must be harmless: a later filtered-away prefetch is just a lost
+// optimization, and the touch itself demand-faults safely with the VM
+// clearing the bit on drop/abandon so the window is small. This test
+// drives the layer under an abandon-heavy profile and checks data
+// correctness and the VM invariants.
+func TestStaleBitsAfterDroppedAndAbandonedPrefetches(t *testing.T) {
+	prof := fault.Profile{
+		Name:          "abandoner",
+		Seed:          31,
+		ReadErrorRate: 0.6,
+		DropRate:      0.3,
+		Retry:         fault.RetryPolicy{MaxAttempts: 2, Timeout: 3600 * sim.Second},
+	}
+	c, v := newFaultySystem(t, 48, 96, prof)
+	l := Register(v, true)
+	base, _ := v.Alloc("x", 96*v.Params().PageSize)
+	ps := v.Params().PageSize
+
+	for round := 0; round < 3; round++ {
+		for p := int64(0); p < 96; p += 8 {
+			l.Prefetch(p, 8)
+			c.Advance(3 * sim.Millisecond)
+		}
+		for p := int64(0); p < 96; p++ {
+			v.Store(base+p*ps, uint64(round)<<32|uint64(p))
+		}
+		if err := v.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	s := v.Stats()
+	if s.PrefetchAbandoned == 0 && s.PrefetchDropped == 0 {
+		t.Fatalf("profile injected no drops or abandonments: %+v", s)
+	}
+	for p := int64(0); p < 96; p++ {
+		if got, want := v.Load(base+p*ps), uint64(2)<<32|uint64(p); got != want {
+			t.Fatalf("page %d = %#x, want %#x", p, got, want)
+		}
+	}
+	if l.Stats().InsertedPages == 0 {
+		t.Fatal("layer saw no prefetches")
+	}
+	v.Finish()
+	c.Drain()
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package stripefs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// faultyFS returns a file system with an injector attached and the
+// registry its degradation counters land in.
+func faultyFS(t *testing.T, prof fault.Profile) (*sim.Clock, *FS, *obs.Registry) {
+	t.Helper()
+	c := sim.NewClock()
+	reg := obs.NewRegistry()
+	fs := NewObserved(c, hw.Scaled(8<<20), nil, &obs.RunObs{Reg: reg})
+	fs.SetFaults(fault.NewInjector(prof, reg, nil))
+	return c, fs, reg
+}
+
+// harsh is a profile whose 2-attempt budget at a high error rate makes
+// permanent sub-request failures frequent.
+func harsh(seed uint64) fault.Profile {
+	return fault.Profile{
+		Name:           "harsh",
+		Seed:           seed,
+		ReadErrorRate:  0.6,
+		WriteErrorRate: 0.6,
+		Retry:          fault.RetryPolicy{MaxAttempts: 2, Timeout: 3600 * sim.Second},
+	}
+}
+
+// done fires exactly once per Read even when pages error, are retried,
+// and some sub-requests fail permanently — the documented contract.
+// (The complete() path panics on a second firing, so this test also
+// guards the exactly-once property structurally.)
+func TestReadDoneFiresExactlyOnceUnderFaults(t *testing.T) {
+	for _, kind := range []disk.Kind{disk.FaultRead, disk.PrefetchRead} {
+		c, fs, _ := faultyFS(t, harsh(11))
+		f, _ := fs.Create("f", 64)
+		ps := fs.Params().PageSize
+		buf := make([]byte, ps)
+		for r := 0; r < 8; r++ {
+			doneCount := 0
+			var resolved int64
+			var n int64 = 8
+			f.Read(int64(r*8), n, kind,
+				func(int64) []byte { return buf },
+				func(int64) { resolved++ },
+				func(int64) { resolved++ },
+				func() { doneCount++ })
+			c.Drain()
+			if doneCount != 1 {
+				t.Fatalf("kind %v read %d: done fired %d times", kind, r, doneCount)
+			}
+			if resolved != n {
+				t.Fatalf("kind %v read %d: %d of %d pages resolved", kind, r, resolved, n)
+			}
+		}
+	}
+}
+
+// Demand reads must deliver data no matter how often the disks give up:
+// permanently failed sub-requests are requeued until they succeed.
+func TestDemandReadsRequeueUntilDataArrives(t *testing.T) {
+	c, fs, reg := faultyFS(t, harsh(23))
+	f, _ := fs.Create("f", 64)
+	ps := fs.Params().PageSize
+	want := map[int64][]byte{}
+	for p := int64(0); p < 64; p++ {
+		data := bytes.Repeat([]byte{byte(p + 1)}, int(ps))
+		f.SetPage(p, data)
+		want[p] = data
+	}
+	got := map[int64][]byte{}
+	buf := func(p int64) []byte {
+		b := make([]byte, ps)
+		got[p] = b
+		return b
+	}
+	done := 0
+	for p := int64(0); p < 64; p += 8 {
+		f.Read(p, 8, disk.FaultRead, buf, nil, nil, func() { done++ })
+	}
+	c.Drain()
+	if done != 8 {
+		t.Fatalf("%d of 8 reads completed", done)
+	}
+	for p := int64(0); p < 64; p++ {
+		if !bytes.Equal(got[p], want[p]) {
+			t.Fatalf("page %d content mismatch after faulted read", p)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["stripefs.requeued_reads"] == 0 {
+		t.Fatal("harsh profile produced no requeued demand reads")
+	}
+	if snap.Counters["stripefs.abandoned_prefetch_pages"] != 0 {
+		t.Fatal("demand reads were abandoned")
+	}
+}
+
+// Prefetch reads are abandoned on permanent failure: failed(p) runs for
+// each lost page, arrived does not, and no data is copied.
+func TestPrefetchReadsAbandonOnPermanentFailure(t *testing.T) {
+	c, fs, reg := faultyFS(t, harsh(37))
+	f, _ := fs.Create("f", 64)
+	ps := fs.Params().PageSize
+	arrived := map[int64]bool{}
+	abandoned := map[int64]bool{}
+	buf := make([]byte, ps)
+	for p := int64(0); p < 64; p += 8 {
+		f.Read(p, 8, disk.PrefetchRead,
+			func(int64) []byte { return buf },
+			func(p int64) { arrived[p] = true },
+			func(p int64) { abandoned[p] = true },
+			nil)
+	}
+	c.Drain()
+	if len(abandoned) == 0 {
+		t.Fatal("harsh profile abandoned no prefetch pages")
+	}
+	for p := range abandoned {
+		if arrived[p] {
+			t.Fatalf("page %d both arrived and was abandoned", p)
+		}
+	}
+	if int64(len(arrived)+len(abandoned)) != 64 {
+		t.Fatalf("%d arrived + %d abandoned != 64 pages", len(arrived), len(abandoned))
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["stripefs.abandoned_prefetch_pages"] != int64(len(abandoned)) {
+		t.Fatalf("counter %d != abandoned %d",
+			snap.Counters["stripefs.abandoned_prefetch_pages"], len(abandoned))
+	}
+	if snap.Counters["stripefs.requeued_reads"] != 0 {
+		t.Fatal("prefetch reads were requeued")
+	}
+}
+
+// Write-backs requeue until the data is durably on the platter, and the
+// backing store only ever changes on success.
+func TestWritesRequeueUntilDurable(t *testing.T) {
+	c, fs, reg := faultyFS(t, harsh(53))
+	f, _ := fs.Create("f", 32)
+	ps := fs.Params().PageSize
+	done := 0
+	for p := int64(0); p < 32; p++ {
+		f.Write(p, bytes.Repeat([]byte{byte(p + 1)}, int(ps)), func() { done++ })
+	}
+	c.Drain()
+	if done != 32 {
+		t.Fatalf("%d of 32 writes completed", done)
+	}
+	for p := int64(0); p < 32; p++ {
+		if got := f.PeekPage(p); got == nil || got[0] != byte(p+1) {
+			t.Fatalf("page %d not durably written", p)
+		}
+	}
+	if reg.Snapshot().Counters["stripefs.requeued_writes"] == 0 {
+		t.Fatal("harsh profile produced no requeued writes")
+	}
+}
+
+// Whole-run determinism: identical (profile, seed) gives identical
+// elapsed time and identical per-disk statistics.
+func TestFaultedFSDeterministic(t *testing.T) {
+	run := func() (sim.Time, []disk.Stats) {
+		c, fs, _ := faultyFS(t, harsh(71))
+		f, _ := fs.Create("f", 64)
+		buf := make([]byte, fs.Params().PageSize)
+		for p := int64(0); p < 64; p += 4 {
+			f.Read(p, 4, disk.FaultRead, func(int64) []byte { return buf }, nil, nil, nil)
+			f.Write(p, buf, nil)
+		}
+		c.Drain()
+		var out []disk.Stats
+		for _, d := range fs.Disks() {
+			out = append(out, d.Stats())
+		}
+		return c.Now(), out
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 {
+		t.Fatalf("elapsed diverged: %v vs %v", t1, t2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("disk %d stats diverged: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -22,6 +23,18 @@ type FS struct {
 	// next free disk-local block on each disk (bump allocation: extents).
 	nextBlock []int64
 	files     []*File
+
+	// flt gates the degradation closures: without an injector the disks
+	// can never fail a request, so Read/Write skip building Failed
+	// handlers and the fault-free hot path allocates exactly what it did
+	// before fault injection existed.
+	flt *fault.Injector
+
+	// Degradation accounting under fault injection. Cold path: these only
+	// move when a disk request exhausts its retry policy.
+	requeuedReads  *obs.Counter // demand reads resubmitted with a fresh retry budget
+	requeuedWrites *obs.Counter // write-backs resubmitted with a fresh retry budget
+	abandonedPages *obs.Counter // prefetched pages abandoned to a later demand fault
 }
 
 // New creates a file system over p.NumDisks fresh disks. If sched is nil
@@ -37,6 +50,9 @@ func New(clock *sim.Clock, p hw.Params, mkSched func() disk.Scheduler) *FS {
 func NewObserved(clock *sim.Clock, p hw.Params, mkSched func() disk.Scheduler, o *obs.RunObs) *FS {
 	fs := &FS{clock: clock, p: p, nextBlock: make([]int64, p.NumDisks)}
 	reg := o.Registry()
+	fs.requeuedReads = reg.Counter("stripefs.requeued_reads")
+	fs.requeuedWrites = reg.Counter("stripefs.requeued_writes")
+	fs.abandonedPages = reg.Counter("stripefs.abandoned_prefetch_pages")
 	for i := 0; i < p.NumDisks; i++ {
 		var s disk.Scheduler
 		if mkSched != nil {
@@ -46,6 +62,17 @@ func NewObserved(clock *sim.Clock, p hw.Params, mkSched func() disk.Scheduler, o
 		fs.disks = append(fs.disks, disk.NewObserved(clock, p, i, s, reg, track))
 	}
 	return fs
+}
+
+// SetFaults attaches a fault injector to every disk (nil detaches). The
+// file system's own degradation policy — what a *permanent* per-request
+// failure means — is always in place; without an injector the disks
+// never fail, so it simply never runs.
+func (fs *FS) SetFaults(inj *fault.Injector) {
+	fs.flt = inj
+	for _, d := range fs.disks {
+		d.SetFaults(inj)
+	}
 }
 
 // Disks exposes the underlying disks (for statistics).
@@ -141,11 +168,28 @@ func (f *File) check(page, n int64) {
 
 // Read issues asynchronous reads of file pages [page, page+n). When a
 // page's disk transfer completes its data is copied into the buffer
-// returned by dst(page) and then arrived(page), if non-nil, is invoked;
-// done, if non-nil, runs once all pages are in. Contiguous pages that land
-// on the same disk are coalesced into a single request so a block prefetch
-// of k pages costs one positional delay per disk, not per page.
-func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []byte, arrived func(page int64), done func()) {
+// returned by dst(page) and then arrived(page), if non-nil, is invoked.
+// Contiguous pages that land on the same disk are coalesced into a
+// single request so a block prefetch of k pages costs one positional
+// delay per disk, not per page.
+//
+// done, if non-nil, runs exactly once, when every page has *resolved* —
+// arrived, or (prefetch reads only) been permanently abandoned. That
+// "exactly once" holds across fault injection: transient per-attempt
+// errors are retried inside the disk and are invisible here, and a
+// sub-request that exhausts its retry policy resolves through exactly
+// one of Done or Failed, never both. The per-kind degradation policy:
+//
+//   - FaultRead (demand): must not fail — the faulting CPU is stalled on
+//     the data. A permanently failed sub-request is resubmitted with a
+//     fresh retry budget ("stripefs.requeued_reads") until it succeeds;
+//     done still fires exactly once, after the retried data arrives.
+//   - PrefetchRead: hints are non-binding, so a permanently failed
+//     sub-request is abandoned: failed(p), if non-nil, is invoked for
+//     each lost page ("stripefs.abandoned_prefetch_pages"), no data is
+//     copied, and the pages count as resolved so done still fires. The
+//     caller recovers later through the normal demand-fault path.
+func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []byte, arrived func(page int64), failed func(page int64), done func()) {
 	f.check(page, n)
 	if n == 0 {
 		if done != nil {
@@ -156,10 +200,19 @@ func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []byte, 
 	d := int64(f.fs.p.NumDisks)
 	remaining := 0
 	complete := func() {
+		// remaining doubles as the exactly-once guard: every sub-request
+		// resolves through exactly one of Done/Failed, so a negative count
+		// can only mean a double resolution. Reusing the counter keeps the
+		// guard off the heap — a separate captured bool would cost an
+		// allocation on every fault-free read.
 		remaining--
-		if remaining == 0 && done != nil {
-			done()
+		if remaining > 0 || done == nil {
+			return
 		}
+		if remaining < 0 {
+			panic("stripefs: read done callback fired twice")
+		}
+		done()
 	}
 	// Per disk, the file pages in [page, page+n) form one contiguous run
 	// of disk-local blocks, so each disk gets at most one request.
@@ -171,48 +224,86 @@ func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []byte, 
 		count := (page + n - first + d - 1) / d
 		_, startBlock := f.locate(first)
 		remaining++
-		f.fs.disks[dd].Submit(disk.Request{
-			Block: startBlock,
-			Pages: count,
-			Kind:  kind,
-			Done: func() {
-				for i := int64(0); i < count; i++ {
-					p := first + i*d
-					buf := dst(p)
-					if src := f.store[p]; src != nil {
-						copy(buf, src)
-					} else {
-						for j := range buf {
-							buf[j] = 0
-						}
-					}
-					if arrived != nil {
-						arrived(p)
+		deliver := func() {
+			for i := int64(0); i < count; i++ {
+				p := first + i*d
+				buf := dst(p)
+				if src := f.store[p]; src != nil {
+					copy(buf, src)
+				} else {
+					for j := range buf {
+						buf[j] = 0
 					}
 				}
-				complete()
-			},
-		})
+				if arrived != nil {
+					arrived(p)
+				}
+			}
+			complete()
+		}
+		req := disk.Request{Block: startBlock, Pages: count, Kind: kind, Done: deliver}
+		// Degradation handlers exist only under fault injection: a
+		// fault-free disk never fails a request. The resubmit closure
+		// rebuilds the request from its parts rather than capturing req —
+		// a self-capture would force req onto the heap on every read,
+		// faulted or not (escape analysis is static).
+		if f.fs.flt != nil {
+			if kind == disk.PrefetchRead {
+				req.Failed = func() {
+					f.fs.abandonedPages.Add(count)
+					for i := int64(0); i < count; i++ {
+						if failed != nil {
+							failed(first + i*d)
+						}
+					}
+					complete()
+				}
+			} else {
+				var resubmit func()
+				resubmit = func() {
+					f.fs.requeuedReads.Inc()
+					f.fs.disks[dd].Submit(disk.Request{
+						Block: startBlock, Pages: count, Kind: kind,
+						Done: deliver, Failed: resubmit,
+					})
+				}
+				req.Failed = resubmit
+			}
+		}
+		f.fs.disks[dd].Submit(req)
 	}
 }
 
 // Write issues an asynchronous write-back of one page. The source buffer
 // is captured immediately (the frame may be reused right away); done runs
-// at transfer completion.
+// at transfer completion. Dirty data must reach the platter, so a
+// write-back that exhausts its retry policy is resubmitted with a fresh
+// budget ("stripefs.requeued_writes") until it succeeds; the backing
+// store only ever changes on success.
 func (f *File) Write(page int64, src []byte, done func()) {
 	f.check(page, 1)
 	buf := make([]byte, f.fs.p.PageSize)
 	copy(buf, src)
 	diskID, block := f.locate(page)
-	f.fs.disks[diskID].Submit(disk.Request{
-		Block: block,
-		Pages: 1,
-		Kind:  disk.Write,
-		Done: func() {
-			f.store[page] = buf
-			if done != nil {
-				done()
-			}
-		},
-	})
+	deliver := func() {
+		f.store[page] = buf
+		if done != nil {
+			done()
+		}
+	}
+	req := disk.Request{Block: block, Pages: 1, Kind: disk.Write, Done: deliver}
+	// As in Read: built only under fault injection, and rebuilt from
+	// parts so req itself never escapes.
+	if f.fs.flt != nil {
+		var resubmit func()
+		resubmit = func() {
+			f.fs.requeuedWrites.Inc()
+			f.fs.disks[diskID].Submit(disk.Request{
+				Block: block, Pages: 1, Kind: disk.Write,
+				Done: deliver, Failed: resubmit,
+			})
+		}
+		req.Failed = resubmit
+	}
+	f.fs.disks[diskID].Submit(req)
 }

@@ -94,7 +94,7 @@ func TestReadDeliversStoredData(t *testing.T) {
 		return b
 	}
 	doneAt := sim.Time(-1)
-	f.Read(0, 8, disk.FaultRead, buf, nil, func() { doneAt = c.Now() })
+	f.Read(0, 8, disk.FaultRead, buf, nil, nil, func() { doneAt = c.Now() })
 	c.Drain()
 	if doneAt < 0 {
 		t.Fatal("Read never completed")
@@ -113,7 +113,7 @@ func TestReadZeroFillsUnwrittenPages(t *testing.T) {
 	for i := range buf {
 		buf[i] = 0xFF
 	}
-	f.Read(1, 1, disk.FaultRead, func(int64) []byte { return buf }, nil, nil)
+	f.Read(1, 1, disk.FaultRead, func(int64) []byte { return buf }, nil, nil, nil)
 	c.Drain()
 	for _, b := range buf {
 		if b != 0 {
@@ -126,7 +126,7 @@ func TestReadZeroPagesCompletesImmediately(t *testing.T) {
 	_, fs := newFS()
 	f, _ := fs.Create("f", 4)
 	done := false
-	f.Read(2, 0, disk.FaultRead, nil, nil, func() { done = true })
+	f.Read(2, 0, disk.FaultRead, nil, nil, nil, func() { done = true })
 	if !done {
 		t.Fatal("zero-length read did not complete synchronously")
 	}
@@ -140,7 +140,7 @@ func TestBlockReadCoalescesPerDisk(t *testing.T) {
 	buf := make([]byte, ps)
 	// Read 2×NumDisks contiguous pages: each disk should see exactly one
 	// request of two pages.
-	f.Read(0, int64(2*nd), disk.PrefetchRead, func(int64) []byte { return buf }, nil, nil)
+	f.Read(0, int64(2*nd), disk.PrefetchRead, func(int64) []byte { return buf }, nil, nil, nil)
 	c.Drain()
 	for i, d := range fs.Disks() {
 		s := d.Stats()
@@ -167,7 +167,7 @@ func TestStripingParallelism(t *testing.T) {
 		buf := make([]byte, pp.PageSize)
 		// n independent one-page reads, as a stream of prefetches would be.
 		for i := int64(0); i < n; i++ {
-			f.Read(i, 1, disk.FaultRead, func(int64) []byte { return buf }, nil, nil)
+			f.Read(i, 1, disk.FaultRead, func(int64) []byte { return buf }, nil, nil, nil)
 		}
 		c.Drain()
 		return c.Now()
@@ -209,7 +209,7 @@ func TestOutOfRangePanics(t *testing.T) {
 	for _, fn := range []func(){
 		func() { f.SetPage(4, nil) },
 		func() { f.SetPage(-1, nil) },
-		func() { f.Read(3, 2, disk.FaultRead, nil, nil, nil) },
+		func() { f.Read(3, 2, disk.FaultRead, nil, nil, nil, nil) },
 		func() { f.Write(99, make([]byte, fs.Params().PageSize), nil) },
 	} {
 		func() {
@@ -236,7 +236,7 @@ func TestWriteReadRoundTripProperty(t *testing.T) {
 		file.Write(page, src, nil)
 		c.Drain()
 		got := make([]byte, p.PageSize)
-		file.Read(page, 1, disk.FaultRead, func(int64) []byte { return got }, nil, nil)
+		file.Read(page, 1, disk.FaultRead, func(int64) []byte { return got }, nil, nil, nil)
 		c.Drain()
 		return bytes.Equal(got, src)
 	}

@@ -126,6 +126,7 @@ func (v *VM) touchSlow(page int64) {
 			v.file.Read(page, 1, disk.FaultRead,
 				func(int64) []byte { return v.frameData(f) },
 				func(p int64) { v.finishRead(p) },
+				nil, // demand reads never fail permanently (stripefs requeues)
 				nil)
 			v.waitIdle("stall", func() bool { return e.state != inTransit })
 		}

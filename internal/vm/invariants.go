@@ -1,0 +1,60 @@
+package vm
+
+import "fmt"
+
+// CheckInvariants verifies the memory manager's structural invariants:
+// the frame table and page table form a bijection over mapped frames,
+// free-list accounting agrees with the per-frame flags, every non-zero
+// page state has a frame, and in-flight I/O counts match the page
+// table. It returns the first violation found, or nil.
+//
+// It exists so that external torture tests — in particular the
+// fault-injection harness, which must show that injected disk errors,
+// brownouts, and dropped prefetches never corrupt the memory manager —
+// can assert the same invariants the package's own randomized tests do.
+func (v *VM) CheckInvariants() error {
+	var onFree, mapped int64
+	for fi := range v.frames {
+		f := &v.frames[fi]
+		if f.onFree {
+			onFree++
+		}
+		if f.vpage >= 0 {
+			e := &v.pt[f.vpage]
+			if e.frame != int32(fi) {
+				return fmt.Errorf("vm: frame %d maps page %d, whose pte points to frame %d", fi, f.vpage, e.frame)
+			}
+			mapped++
+		}
+	}
+	if onFree != v.freeCount {
+		return fmt.Errorf("vm: freeCount=%d but %d frames flagged onFree", v.freeCount, onFree)
+	}
+	if mapped > int64(len(v.frames)) {
+		return fmt.Errorf("vm: more mapped frames (%d) than exist (%d)", mapped, len(v.frames))
+	}
+
+	var transitPages int64
+	for p := range v.pt {
+		e := &v.pt[p]
+		if e.state == inTransit {
+			transitPages++
+		}
+		if e.state != unmapped && e.frame < 0 {
+			return fmt.Errorf("vm: page %d in state %d has no frame", p, e.state)
+		}
+		if e.state == unmapped && e.dirty {
+			return fmt.Errorf("vm: unmapped page %d is dirty", p)
+		}
+		if e.state == freeListed && !v.frames[e.frame].onFree {
+			return fmt.Errorf("vm: freeListed page %d's frame not on free queue", p)
+		}
+		if e.state == resident && v.frames[e.frame].onFree {
+			return fmt.Errorf("vm: resident page %d's frame on free queue", p)
+		}
+	}
+	if transitPages != v.inTransitCount {
+		return fmt.Errorf("vm: inTransitCount=%d but %d pages in transit", v.inTransitCount, transitPages)
+	}
+	return nil
+}

@@ -11,60 +11,12 @@ import (
 // of touches, stores, prefetches, releases, and time advances, and check
 // the memory manager's core invariants after every step.
 
-// checkInvariants asserts structural consistency of the VM.
+// checkInvariants asserts structural consistency of the VM via the
+// exported checker (shared with the fault-injection harness).
 func checkInvariants(t *testing.T, v *VM) {
 	t.Helper()
-
-	// Frame table and page table must agree.
-	var onFree, mapped int64
-	for fi := range v.frames {
-		f := &v.frames[fi]
-		if f.onFree {
-			onFree++
-		}
-		if f.vpage >= 0 {
-			e := &v.pt[f.vpage]
-			if e.frame != int32(fi) {
-				t.Fatalf("frame %d maps page %d, whose pte points to frame %d", fi, f.vpage, e.frame)
-			}
-			mapped++
-		}
-	}
-	if onFree != v.freeCount {
-		t.Fatalf("freeCount=%d but %d frames flagged onFree", v.freeCount, onFree)
-	}
-
-	var residentPages, transitPages, freeListedPages int64
-	for p := range v.pt {
-		e := &v.pt[p]
-		switch e.state {
-		case resident:
-			residentPages++
-		case inTransit:
-			transitPages++
-		case freeListed:
-			freeListedPages++
-		}
-		if e.state != unmapped && e.frame < 0 {
-			t.Fatalf("page %d in state %d has no frame", p, e.state)
-		}
-		if e.state == unmapped && e.dirty {
-			t.Fatalf("unmapped page %d is dirty", p)
-		}
-		if e.state == freeListed && !v.frames[e.frame].onFree {
-			t.Fatalf("freeListed page %d's frame not on free queue", p)
-		}
-		if e.state == resident && v.frames[e.frame].onFree {
-			t.Fatalf("resident page %d's frame on free queue", p)
-		}
-	}
-	if transitPages != v.inTransitCount {
-		t.Fatalf("inTransitCount=%d but %d pages in transit", v.inTransitCount, transitPages)
-	}
-	// Every frame is either free, or mapped by exactly one page (checked
-	// above via the bijection), never both for resident pages.
-	if mapped+0 > int64(len(v.frames)) {
-		t.Fatalf("more mapped frames (%d) than exist (%d)", mapped, len(v.frames))
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -34,7 +34,13 @@ func (v *VM) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
 	}
 
 	// Issue prefetch reads, coalescing contiguous runs so a block
-	// prefetch becomes at most one request per disk.
+	// prefetch becomes at most one request per disk. The abandonment
+	// callback exists only under fault injection — a fault-free read
+	// never fails, and the closure would cost an allocation per flush.
+	var abandoned func(int64)
+	if v.flt != nil {
+		abandoned = func(p int64) { v.abandonPrefetch(p) }
+	}
 	runStart := int64(-1)
 	flush := func(end int64) {
 		if runStart < 0 {
@@ -45,6 +51,7 @@ func (v *VM) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
 		v.file.Read(start, end-start, disk.PrefetchRead,
 			func(p int64) []byte { return v.frameData(v.pt[p].frame) },
 			func(p int64) { v.finishRead(p) },
+			abandoned,
 			nil)
 	}
 	for p := pfPage; p < pfPage+pfN; p++ {
@@ -101,7 +108,14 @@ func (v *VM) prefetchOne(p int64) bool {
 		// enough physical memory to buffer prefetched data, or if the
 		// disk subsystem is overloaded" (§2.2.1). A dropped page's
 		// residency bit is cleared so the run-time layer does not
-		// believe a stale hint.
+		// believe a stale hint. Injected pressure spikes drop hints
+		// through exactly the same path as real pressure.
+		// The nil check is out here so the fault-free path does not even
+		// read the clock to build the call's arguments.
+		if v.flt != nil && v.flt.DropPrefetch(v.clock.Now(), p) {
+			v.dropPrefetch(e, p)
+			return false
+		}
 		if v.file.QueueLenOf(p) > maxPrefetchQueue {
 			v.dropPrefetch(e, p)
 			return false
@@ -125,6 +139,35 @@ func (v *VM) prefetchOne(p int64) bool {
 		return true
 	}
 	return false
+}
+
+// abandonPrefetch reverts an in-flight prefetched page whose disk read
+// was permanently abandoned by the file system (retry policy exhausted).
+// Hints are non-binding, so this is safe by construction: the page goes
+// back to unmapped with its (zero-content) frame returned to the free
+// list, and the application's eventual touch takes a normal demand
+// fault — which retries the read through the must-not-fail path. The
+// pte keeps prefetched=true so that fault classifies as a late
+// prefetched fault, like any other prefetch that failed to hide its
+// latency. Anyone already stalled on the page wakes from waitIdle (the
+// state left inTransit), observes unmapped, and demand-faults.
+func (v *VM) abandonPrefetch(page int64) {
+	e := &v.pt[page]
+	if e.state != inTransit {
+		return
+	}
+	f := e.frame
+	e.state = unmapped
+	e.frame = -1
+	e.touched = false
+	e.referenced = false
+	v.frames[f].vpage = -1
+	v.pushFreeBack(f)
+	v.inTransitCount--
+	v.ioGen++
+	v.bitvec.Clear(page)
+	v.n.prefetchAbandoned++
+	v.trFaults.InstantArg("abandoned", "prefetch", v.clock.Now(), "page", page)
 }
 
 // dropPrefetch records a non-binding prefetch the OS declined.

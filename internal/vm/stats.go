@@ -43,6 +43,12 @@ type Stats struct {
 	PrefetchRescues   int64 // pages reclaimed from the free list (useful work)
 	PrefetchUnneeded  int64 // pages already mapped (wasted syscall work)
 	PrefetchDropped   int64 // pages dropped because no memory was free
+	// PrefetchAbandoned counts issued prefetch reads the disk permanently
+	// failed under fault injection; the pages reverted to unmapped and
+	// were recovered by later demand faults. Always zero without faults.
+	// (These pages are in PrefetchIssued, so they are not added to
+	// PrefetchPagesSeen again.)
+	PrefetchAbandoned int64
 
 	// Release activity.
 	ReleaseCalls  int64 // calls carrying at least one release
@@ -101,6 +107,7 @@ type tally struct {
 	// issued/rescues/unneeded/dropped.
 	prefetchCalls, prefetchIssued                      int64
 	prefetchRescues, prefetchUnneeded, prefetchDropped int64
+	prefetchAbandoned                                  int64
 
 	// Release and memory-manager activity.
 	releaseCalls, releasedPages, writebacks int64
@@ -118,6 +125,7 @@ type counters struct {
 
 	prefetchCalls, prefetchIssued                      *obs.Counter
 	prefetchRescues, prefetchUnneeded, prefetchDropped *obs.Counter
+	prefetchAbandoned                                  *obs.Counter
 
 	releaseCalls, releasedPages, writebacks *obs.Counter
 	reclaims, daemonScans                   *obs.Counter
@@ -136,11 +144,12 @@ func newCounters(reg *obs.Registry) counters {
 		nonPrefetchedFault: reg.Counter("vm.faults.non_prefetched"),
 		minorFaults:        reg.Counter("vm.faults.minor"),
 
-		prefetchCalls:    reg.Counter("vm.prefetch.calls"),
-		prefetchIssued:   reg.Counter("vm.prefetch.issued"),
-		prefetchRescues:  reg.Counter("vm.prefetch.rescues"),
-		prefetchUnneeded: reg.Counter("vm.prefetch.unneeded"),
-		prefetchDropped:  reg.Counter("vm.prefetch.dropped"),
+		prefetchCalls:     reg.Counter("vm.prefetch.calls"),
+		prefetchIssued:    reg.Counter("vm.prefetch.issued"),
+		prefetchRescues:   reg.Counter("vm.prefetch.rescues"),
+		prefetchUnneeded:  reg.Counter("vm.prefetch.unneeded"),
+		prefetchDropped:   reg.Counter("vm.prefetch.dropped"),
+		prefetchAbandoned: reg.Counter("vm.prefetch.abandoned"),
 
 		releaseCalls:  reg.Counter("vm.release.calls"),
 		releasedPages: reg.Counter("vm.release.pages"),
@@ -167,6 +176,7 @@ func (c *counters) publish(n *tally) {
 	c.prefetchRescues.Store(n.prefetchRescues)
 	c.prefetchUnneeded.Store(n.prefetchUnneeded)
 	c.prefetchDropped.Store(n.prefetchDropped)
+	c.prefetchAbandoned.Store(n.prefetchAbandoned)
 
 	c.releaseCalls.Store(n.releaseCalls)
 	c.releasedPages.Store(n.releasedPages)
@@ -188,6 +198,7 @@ func (n *tally) stats() Stats {
 		PrefetchRescues:    n.prefetchRescues,
 		PrefetchUnneeded:   n.prefetchUnneeded,
 		PrefetchDropped:    n.prefetchDropped,
+		PrefetchAbandoned:  n.prefetchAbandoned,
 		ReleaseCalls:       n.releaseCalls,
 		ReleasedPages:      n.releasedPages,
 		Writebacks:         n.writebacks,

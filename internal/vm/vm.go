@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -99,6 +100,10 @@ type VM struct {
 	allocPages int64
 	regions    []Region
 
+	// Fault plane (nil injects nothing): synthetic memory-pressure spikes
+	// that drop otherwise-acceptable prefetch hints.
+	flt *fault.Injector
+
 	// Hot-path accounting (plain fields; see tally in stats.go), the
 	// registry handles it publishes to, and trace tracks. The tracks are
 	// nil when tracing is off: each emission is then one nil check. Last
@@ -161,6 +166,11 @@ func NewObserved(clock *sim.Clock, p hw.Params, file *stripefs.File, o *obs.RunO
 	v.bitvec = newBitVector(file.Pages())
 	return v
 }
+
+// SetFaults attaches a fault injector (nil detaches). The VM consults it
+// for synthetic memory-pressure spikes that drop prefetch hints; hints
+// are non-binding, so dropping them is always safe.
+func (v *VM) SetFaults(inj *fault.Injector) { v.flt = inj }
 
 // Params returns the hardware parameters.
 func (v *VM) Params() hw.Params { return v.p }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/ir"
 	"repro/internal/lang"
@@ -108,6 +109,30 @@ type Trace = obs.Trace
 // snapshot with WriteJSON. The per-run statistics structs (vm, disk,
 // run-time layer) are views assembled from this registry.
 type Metrics = obs.Registry
+
+// FaultProfile describes one deterministic fault workload: per-disk
+// transient read/write error rates, latency-spike rate and factor,
+// prefetch-drop rate under synthetic memory pressure, whole-disk
+// brownout windows, and the disks' retry policy. Attach one via
+// Config.Faults, RunOptions.Faults, or SuiteOptions.Faults. The paper's
+// hints are non-binding, so any profile changes only a run's timing and
+// fault counters — never its results.
+type FaultProfile = fault.Profile
+
+// FaultCounts tallies what a run's fault plane actually injected
+// (Result.Faults).
+type FaultCounts = fault.Counts
+
+// FaultProfileByName returns a named fault profile (none, flaky, slow,
+// pressure, brownout, chaos).
+func FaultProfileByName(name string) (FaultProfile, bool) { return fault.ProfileByName(name) }
+
+// FaultProfileNames returns the available fault-profile names, sorted.
+func FaultProfileNames() []string { return fault.ProfileNames() }
+
+// ParseFaultSpec parses a CLI-style fault specification such as
+// "brownout" or "profile=chaos,seed=7".
+func ParseFaultSpec(spec string) (FaultProfile, error) { return fault.ParseSpec(spec) }
 
 // NewTrace returns an empty trace collector.
 func NewTrace() *Trace { return obs.NewTrace() }
