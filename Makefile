@@ -3,15 +3,16 @@ GO ?= go
 # staticcheck is pinned so every machine runs the same analysis.
 STATICCHECK_VERSION ?= 2025.1.1
 
-# The benchmark gate covers the observability substrate and the VM hot
-# paths — the fast micro-benchmarks whose regressions would mean the
-# tracer/registry layer leaked cost into every simulated event.
-BENCH_PKGS = ./internal/obs ./internal/vm
+# The benchmark gate covers the observability substrate, the VM hot
+# paths (per-element and page-run), and one end-to-end kernel host-time
+# figure — regressions here mean the tracer/registry layer or the
+# executor fast path leaked cost into every simulated event.
+BENCH_PKGS = ./internal/obs ./internal/vm ./internal/bench
 # -count 3 with benchdiff keeping each benchmark's fastest run damps
 # allocator and scheduler noise enough for a 15% gate.
 BENCH_FLAGS = -bench=. -benchmem -benchtime 200ms -count 3 -run '^$$'
 
-.PHONY: ci fmt-check vet staticcheck build test race fuzz test-faults bench bench-check bench-baseline
+.PHONY: ci fmt-check vet staticcheck build test race fuzz test-faults test-fastpath bench bench-check bench-baseline
 
 # ci is the gate: formatting, static checks, build, tests, the
 # race-detector pass over the concurrent experiment runner, and a
@@ -63,6 +64,14 @@ fuzz:
 # every layer's fault-path tests.
 test-faults:
 	$(GO) test ./internal/fault/... ./internal/disk ./internal/stripefs ./internal/vm ./internal/rt
+
+# test-fastpath runs the executor fast-path differential property: every
+# NAS proxy and example kernel must be tick-identical with page-run
+# specialization on and off, fault-free and under fault profiles, plus
+# the exec-level unit differentials.
+test-fastpath:
+	$(GO) test ./internal/fault/harness/ -run TestFastPathEquivalence
+	$(GO) test ./internal/exec/ -run TestFastPath
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

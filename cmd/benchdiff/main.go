@@ -8,7 +8,9 @@
 //
 // Compare mode diffs a current recording against a committed baseline
 // and exits non-zero when any benchmark's ns/op regressed by more than
-// the threshold (percent), or when a baseline benchmark disappeared:
+// the threshold (percent), when a benchmark that was allocation-free in
+// the baseline now allocates (zero-alloc hot paths are a hard property,
+// not a sliding scale), or when a baseline benchmark disappeared:
 //
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 15
 //
@@ -135,8 +137,8 @@ func stripProcSuffix(name string) string {
 }
 
 // compare returns one message per regression: baseline benchmarks that
-// slowed by more than thresholdPct, or that vanished from the current
-// recording.
+// slowed by more than thresholdPct, that were allocation-free and now
+// allocate, or that vanished from the current recording.
 func compare(basePath, curPath string, thresholdPct float64) ([]string, error) {
 	base, err := load(basePath)
 	if err != nil {
@@ -170,6 +172,14 @@ func compare(basePath, curPath string, thresholdPct float64) ([]string, error) {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.1f ns/op -> %.1f ns/op (%+.1f%% > %.0f%% threshold)",
 					name, b.NsOp, c.NsOp, change, thresholdPct))
+		}
+		// A benchmark recorded at zero allocs/op is a zero-allocation
+		// guarantee: any new allocation fails regardless of the ns/op
+		// threshold. (AllocsOp < 0 means -benchmem was off; no claim.)
+		if b.AllocsOp == 0 && c.AllocsOp > 0 {
+			status = "ALLOC-REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: was zero-alloc, now %.0f allocs/op", name, c.AllocsOp))
 		}
 		fmt.Printf("%-40s %12.1f %12.1f %+8.1f%%  %s\n", name, b.NsOp, c.NsOp, change, status)
 	}

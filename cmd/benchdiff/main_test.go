@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchKeepsFastestRun(t *testing.T) {
+	out := `goos: linux
+BenchmarkFoo-8   	1000	       250.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkFoo-8   	1000	       200.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkFoo-8   	1000	       230.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkBar-8   	1000	         3.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+	rs, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs["BenchmarkFoo"]; got.NsOp != 200 || got.AllocsOp != 2 {
+		t.Fatalf("BenchmarkFoo = %+v, want fastest run 200 ns/op, 2 allocs/op", got)
+	}
+	if got := rs["BenchmarkBar"]; got.NsOp != 3 || got.AllocsOp != 0 {
+		t.Fatalf("BenchmarkBar = %+v", got)
+	}
+}
+
+func TestCompareNsOpThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 0}}`)
+	cur := writeJSON(t, dir, "cur.json", `{"BenchmarkFoo": {"ns_op": 120, "allocs_op": 0}}`)
+	regs, err := compare(base, cur, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "threshold") {
+		t.Fatalf("regressions = %v, want one ns/op regression", regs)
+	}
+	regs, err = compare(base, cur, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none at 25%% threshold", regs)
+	}
+}
+
+func TestCompareZeroAllocIsHard(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 0}}`)
+	// Faster, but no longer allocation-free: still a failure.
+	cur := writeJSON(t, dir, "cur.json", `{"BenchmarkFoo": {"ns_op": 90, "allocs_op": 1}}`)
+	regs, err := compare(base, cur, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "zero-alloc") {
+		t.Fatalf("regressions = %v, want one zero-alloc regression", regs)
+	}
+}
+
+func TestCompareAllocGrowthAllowedWhenNonzero(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 5}}`)
+	cur := writeJSON(t, dir, "cur.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 7}}`)
+	regs, err := compare(base, cur, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none (benchmark was never zero-alloc)", regs)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 0}}`)
+	cur := writeJSON(t, dir, "cur.json", `{}`)
+	regs, err := compare(base, cur, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("regressions = %v, want one missing-benchmark failure", regs)
+	}
+}

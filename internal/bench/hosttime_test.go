@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/nas"
+)
+
+// BenchmarkKernelHostTime measures the host (wall-clock) cost of one
+// complete end-to-end run — compile, simulate, validate nothing — of a
+// small CG proxy in the standard prefetching configuration. This is the
+// figure the executor's page-run fast path exists to improve; the other
+// benchmarks in the gate isolate its per-word components.
+func BenchmarkKernelHostTime(b *testing.B) {
+	app := nas.CGM()
+	const scale = 0.1
+	prog0 := app.Build(scale)
+	ps := hw.Default().PageSize
+	if err := prog0.Resolve(ps); err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.MachineFor(nas.DataBytes(prog0, ps), 2))
+	cfg.Seed = app.Seed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog := app.Build(scale)
+		if _, err := core.Run(prog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

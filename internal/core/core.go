@@ -50,6 +50,14 @@ type Config struct {
 	// warm-started bars of Figure 6.
 	WarmStart bool
 
+	// NoFastPath disables the executor's page-run loop specialization,
+	// forcing every array access through the per-element VM path. The two
+	// paths produce identical results, simulated times, and statistics —
+	// the fast path only removes host-side interpretation overhead — so
+	// this is a differential-testing and debugging switch, not a modeling
+	// choice.
+	NoFastPath bool
+
 	// Seed pre-initializes input files; nil if the program needs none.
 	Seed func(prog *ir.Program, file *stripefs.File, pageSize int64)
 
@@ -241,7 +249,7 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		v.SetFaults(inj)
 	}
 	layer := rt.RegisterObserved(v, cfg.RuntimeFilter || !cfg.Prefetch, reg)
-	m, err := exec.New(execProg, v, layer)
+	m, err := exec.NewWith(execProg, v, layer, exec.Options{NoFastPath: cfg.NoFastPath})
 	if err != nil {
 		return nil, err
 	}

@@ -194,6 +194,13 @@ type Disk struct {
 	track   *obs.Track // service-time spans; nil when tracing is off
 	depthHi int        // high-water queue depth, for diagnostics
 
+	// Fault-free completion state: the disk is a serial server, so one
+	// field holds the in-service request's Done and one bound method
+	// value (created at construction) is scheduled for every completion —
+	// a closure per serviced request would allocate.
+	curDone       func()
+	serviceDoneFn func()
+
 	flt   *fault.Injector   // nil injects nothing
 	retry fault.RetryPolicy // normalized; zero value only before SetFaults
 }
@@ -215,7 +222,9 @@ func NewObserved(clock *sim.Clock, p hw.Params, id int, sched Scheduler, reg *ob
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Disk{clock: clock, p: p, id: id, sched: sched, c: newCounters(reg, id), track: track}
+	d := &Disk{clock: clock, p: p, id: id, sched: sched, c: newCounters(reg, id), track: track}
+	d.serviceDoneFn = d.serviceDone
+	return d
 }
 
 // ID returns the disk's index within its array.
@@ -298,19 +307,24 @@ func (d *Disk) startNext() {
 		if d.track != nil { // guard: Kind.String is a call even when untraced
 			d.track.SpanArg(r.Kind.String(), "disk", d.clock.Now(), t, "block", r.Block)
 		}
-		// Capture only the completion callback, not the whole request: the
-		// closure is allocated per serviced request, and a full Request in
-		// its environment would cost 40 extra heap bytes each time.
-		done := r.Done
-		d.clock.Schedule(t, func() {
-			if done != nil {
-				done()
-			}
-			d.startNext()
-		})
+		d.curDone = r.Done
+		d.clock.Schedule(t, d.serviceDoneFn)
 		return
 	}
 	d.attempt(r, 1, d.clock.Now())
+}
+
+// serviceDone completes the request in service on the fault-free path
+// and starts the next one. The callback is consumed before it runs: it
+// may submit new requests to this disk, which must queue behind the
+// startNext below, not clobber curDone.
+func (d *Disk) serviceDone() {
+	done := d.curDone
+	d.curDone = nil
+	if done != nil {
+		done()
+	}
+	d.startNext()
 }
 
 // attempt services one try of a request. On injected failure it retries

@@ -22,6 +22,11 @@ type Env struct {
 	vm     *vm.VM
 	rt     *rt.Layer
 	rngX   uint64 // Randlc stream state (x_k, 46-bit)
+
+	// sites is the page-run fast path's per-access-site state: one entry
+	// per specialized array reference in the program, live only while a
+	// chunk of iterations executes (see fastpath.go).
+	sites []runSite
 }
 
 type stmtFn func(*Env)
@@ -32,10 +37,21 @@ type bFn func(*Env) bool
 // Machine is a compiled, runnable program bound to a VM and run-time
 // layer.
 type Machine struct {
-	prog *ir.Program
-	vm   *vm.VM
-	rt   *rt.Layer
-	body stmtFn
+	prog   *ir.Program
+	vm     *vm.VM
+	rt     *rt.Layer
+	body   stmtFn
+	nSites int
+}
+
+// Options tunes compilation.
+type Options struct {
+	// NoFastPath disables page-run loop specialization, forcing every
+	// array access through the per-element Load/Store path. The fast path
+	// only removes host-side interpretation overhead — simulated results,
+	// times, and statistics are identical either way — so this exists for
+	// differential testing and debugging, not as a semantic switch.
+	NoFastPath bool
 }
 
 // New compiles prog for execution on v, with compiler-inserted hints
@@ -43,6 +59,11 @@ type Machine struct {
 // are allocated in v's address space (which must be fresh: allocation
 // order defines addresses).
 func New(prog *ir.Program, v *vm.VM, layer *rt.Layer) (*Machine, error) {
+	return NewWith(prog, v, layer, Options{})
+}
+
+// NewWith is New with explicit compilation options.
+func NewWith(prog *ir.Program, v *vm.VM, layer *rt.Layer, opts Options) (*Machine, error) {
 	if !prog.Resolved() {
 		if err := prog.Resolve(v.Params().PageSize); err != nil {
 			return nil, err
@@ -60,12 +81,15 @@ func New(prog *ir.Program, v *vm.VM, layer *rt.Layer) (*Machine, error) {
 			return nil, fmt.Errorf("exec: array %s resolved at %#x but allocated at %#x", a.Name, a.Base, base)
 		}
 	}
-	c := &compiler{}
+	c := &compiler{
+		noFast:    opts.NoFastPath,
+		pageWords: v.Params().PageSize / ir.ElemSize,
+	}
 	body := c.stmts(prog.Body)
 	if c.err != nil {
 		return nil, c.err
 	}
-	return &Machine{prog: prog, vm: v, rt: layer, body: body}, nil
+	return &Machine{prog: prog, vm: v, rt: layer, body: body, nSites: c.nSites}, nil
 }
 
 // Run executes the program once. The returned Env exposes final scalar
@@ -77,6 +101,7 @@ func (m *Machine) Run() *Env {
 		vm:     m.vm,
 		rt:     m.rt,
 		rngX:   uint64(m.prog.Seed) & ((1 << 46) - 1),
+		sites:  make([]runSite, m.nSites),
 	}
 	for _, p := range m.prog.Params {
 		e.Ints[p.Slot] = p.Val
@@ -88,13 +113,21 @@ func (m *Machine) Run() *Env {
 // VM returns the machine's VM.
 func (m *Machine) VM() *vm.VM { return m.vm }
 
+// SpecializedSites returns how many array access sites were compiled to
+// the page-run fast path (zero when Options.NoFastPath was set or no loop
+// qualified). Tests use it to prove specialization actually engaged.
+func (m *Machine) SpecializedSites() int { return m.nSites }
+
 // ---- compilation ---------------------------------------------------------
 
 // compiler lowers IR to closures, tallying a static operation count per
 // statement which the closure charges once per execution. Loads, stores
 // and intrinsics carry extra weight; see opCost.
 type compiler struct {
-	err error
+	err       error
+	noFast    bool
+	pageWords int64 // words per page, for page-run chunk sizing
+	nSites    int   // specialized access sites assigned so far
 }
 
 func (c *compiler) fail(format string, args ...interface{}) {
@@ -225,9 +258,14 @@ func (c *compiler) loop(l *ir.Loop) stmtFn {
 	}
 	lo, locost := c.iexpr(l.Lo)
 	hi, hicost := c.iexpr(l.Hi)
+	head := locost + hicost
+	if !c.noFast {
+		if fn, ok := c.fastLoop(l, lo, hi, head); ok {
+			return fn
+		}
+	}
 	body := c.stmts(l.Body)
 	slot, step := l.Slot, l.Step
-	head := locost + hicost
 	return func(e *Env) {
 		e.vm.AddUserOps(head)
 		h := hi(e)

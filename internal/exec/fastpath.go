@@ -1,0 +1,499 @@
+// Page-run loop specialization: the executor's host-side fast path.
+//
+// An innermost loop whose body is straight-line assignments with affine,
+// constant-stride subscripts touches each array through runs of
+// consecutive (or constant-stride) words on the same page. The slow path
+// pays a VM Load/Store call per element; the fast path pays one residency
+// check per page run and iterates raw frame-word slices in between.
+//
+// Equivalence with the per-element path is exact, not approximate, and
+// rests on one property of the simulator: simulated time only advances at
+// kernel crossings (faults and hint system calls), and eligible bodies
+// contain no hints. The driver therefore executes the FIRST iteration of
+// every chunk through the ordinary compiled body — faults, fault
+// classification, and charge points land exactly where they always did —
+// and only the remaining iterations, which by construction hit pages the
+// first iteration just proved hot, run on spans. Their referenced/dirty
+// marking is batched through vm.PageSpan (indistinguishable from
+// per-access marking, since nothing can observe page state between
+// crossings) and their user-op charges are batched through one AddUserOps
+// call (pending ops are a plain sum). If any page turns out not to be hot
+// — evicted by a fault earlier in the same iteration — the chunk aborts
+// and the per-element path takes over, faulting exactly where the slow
+// path would. Span acquisition follows the body's first-touch order so an
+// abort leaves precisely the marks the slow path's next iteration would
+// have made before its first fault.
+package exec
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// runSite is the per-execution state of one specialized array access: the
+// frame words of the page the current chunk stays on, the word index of
+// the current iteration's element, and its per-iteration advance.
+type runSite struct {
+	span  []uint64
+	pos   int64
+	delta int64
+}
+
+// fastSite is the compile-time description of one access site, in the
+// body's first-touch order.
+type fastSite struct {
+	id     int
+	write  bool
+	delta  int64 // word advance per iteration: Σ coeff_d·stride_d · step
+	addrFn iFn   // bounds-checked element address (the slow path's own)
+	idxFns []iFn // per-dimension subscript values; side-effect free
+	dims   []int64
+}
+
+// fastLoop tries to compile l as a page-run specialized loop. It returns
+// ok=false — leaving the compiler free to lower l normally — when the body
+// contains control flow, hints, indirect or non-affine subscripts, an
+// assignment to the loop variable, or a stride of a page or more.
+func (c *compiler) fastLoop(l *ir.Loop, lo, hi iFn, head int64) (stmtFn, bool) {
+	banned := make(map[int]bool)
+	for _, s := range l.Body {
+		switch x := s.(type) {
+		case ir.AssignF, ir.AssignI, ir.SetScalarF:
+		case ir.SetScalarI:
+			if x.Slot == l.Slot {
+				return nil, false // body rewrites the induction variable
+			}
+			banned[x.Slot] = true
+		default:
+			return nil, false // control flow or hints: per-element only
+		}
+	}
+
+	rc := &runCompiler{c: c, slot: l.Slot, step: l.Step, banned: banned, ok: true}
+	siteLo := c.nSites
+	runFns := make([]stmtFn, 0, len(l.Body))
+	perIter := int64(costLoop)
+	for _, s := range l.Body {
+		fn, cost := rc.stmt(s)
+		if !rc.ok {
+			c.nSites = siteLo
+			return nil, false
+		}
+		runFns = append(runFns, fn)
+		perIter += cost
+	}
+	if len(rc.sites) == 0 {
+		c.nSites = siteLo // pure scalar loop: nothing to specialize
+		return nil, false
+	}
+
+	sites := rc.sites
+	slowBody := c.stmts(l.Body)
+	slot, step := l.Slot, l.Step
+	pageWords := c.pageWords
+	byteMask := pageWords*ir.ElemSize - 1
+	siteHi := c.nSites
+	runBody := runFns[0]
+	if len(runFns) > 1 {
+		fns := runFns
+		runBody = func(e *Env) {
+			for _, f := range fns {
+				f(e)
+			}
+		}
+	}
+
+	return func(e *Env) {
+		e.vm.AddUserOps(head)
+		h := hi(e)
+		for v := lo(e); v < h; v += step {
+			e.Ints[slot] = v
+			e.vm.AddUserOps(costLoop)
+			slowBody(e)
+
+			// Size the chunk: iterations until any site leaves its page,
+			// capped by the iterations left (including this one).
+			k := (h - v + step - 1) / step
+			if k < 2 {
+				continue
+			}
+			for _, sp := range sites {
+				off := (sp.addrFn(e) & byteMask) >> 3
+				switch {
+				case sp.delta > 0:
+					if kk := (pageWords-1-off)/sp.delta + 1; kk < k {
+						k = kk
+					}
+				case sp.delta < 0:
+					if kk := off/(-sp.delta) + 1; kk < k {
+						k = kk
+					}
+				}
+			}
+			if k < 2 {
+				continue
+			}
+
+			// A subscript that leaves its array inside the chunk must
+			// panic at its exact iteration: leave it to the per-element
+			// path. Affine subscripts are monotone in v, so checking the
+			// chunk's last iteration covers every iteration in between.
+			e.Ints[slot] = v + (k-1)*step
+			ok := true
+		bounds:
+			for _, sp := range sites {
+				for d, fn := range sp.idxFns {
+					if ix := fn(e); ix < 0 || ix >= sp.dims[d] {
+						ok = false
+						break bounds
+					}
+				}
+			}
+			e.Ints[slot] = v
+			if !ok {
+				continue
+			}
+
+			// Acquire spans in first-touch order. Marking is idempotent
+			// with what iteration v+step's own accesses would do, and on
+			// failure at site i the sites before i carry exactly the marks
+			// the slow path applies before faulting at site i.
+			for _, sp := range sites {
+				addr := sp.addrFn(e)
+				first := (addr & byteMask) >> 3
+				loW, n := first, sp.delta*(k-1)+1
+				if sp.delta < 0 {
+					loW, n = first+sp.delta*(k-1), -sp.delta*(k-1)+1
+				}
+				base := addr &^ byteMask
+				var span []uint64
+				if sp.write {
+					span, _, ok = e.vm.PageSpanW(base+loW*ir.ElemSize, n)
+				} else {
+					span, _, ok = e.vm.PageSpan(base+loW*ir.ElemSize, n)
+				}
+				if !ok {
+					break
+				}
+				st := &e.sites[sp.id]
+				st.span, st.pos, st.delta = span, first, sp.delta
+			}
+			if !ok {
+				continue
+			}
+
+			// Commit: charge the remaining iterations in one batch (the
+			// pending-ops sum a crossing observes is what matters, and no
+			// crossing can occur inside the chunk) and run them on spans.
+			e.vm.AddUserOps((k - 1) * perIter)
+			for j := int64(1); j < k; j++ {
+				v += step
+				e.Ints[slot] = v
+				for i := siteLo; i < siteHi; i++ {
+					st := &e.sites[i]
+					st.pos += st.delta
+				}
+				runBody(e)
+			}
+			for i := siteLo; i < siteHi; i++ {
+				e.sites[i].span = nil // spans die with the chunk
+			}
+		}
+	}, true
+}
+
+// runCompiler lowers an eligible loop body to span-indexed closures,
+// registering an access site for every array reference in evaluation
+// order and mirroring the slow path's cost accounting exactly (the
+// formulas must match compiler.stmt / fexpr / iexpr).
+type runCompiler struct {
+	c      *compiler
+	slot   int
+	step   int64
+	banned map[int]bool // int slots the body assigns
+	ok     bool
+	sites  []*fastSite
+}
+
+func (rc *runCompiler) reject() {
+	rc.ok = false
+}
+
+// site registers an access site for arr[idx...], or rejects the loop if
+// the subscripts are not affine in the loop variable with loop-invariant
+// remainder, or the stride reaches a full page.
+func (rc *runCompiler) site(arr *ir.Array, idx []ir.IExpr, write bool) *fastSite {
+	if len(idx) != len(arr.Strides) {
+		rc.reject() // the slow compile reports the arity error
+		return nil
+	}
+	var elemCoeff int64
+	idxFns := make([]iFn, len(idx))
+	for d, ix := range idx {
+		coeff, ok := rc.affineCoeff(ix)
+		if !ok {
+			rc.reject()
+			return nil
+		}
+		elemCoeff += coeff * arr.Strides[d]
+		idxFns[d], _ = rc.c.iexpr(ix)
+	}
+	delta := elemCoeff * rc.step
+	if delta >= rc.c.pageWords || -delta >= rc.c.pageWords {
+		rc.reject() // every chunk would be a single iteration
+		return nil
+	}
+	addrFn, _ := rc.c.addr(arr, idx)
+	s := &fastSite{
+		id:     rc.c.nSites,
+		write:  write,
+		delta:  delta,
+		addrFn: addrFn,
+		idxFns: idxFns,
+		dims:   arr.Dims,
+	}
+	rc.c.nSites++
+	rc.sites = append(rc.sites, s)
+	return s
+}
+
+// affineCoeff reports whether x = coeff·var + rest with rest invariant
+// across the loop, and returns the compile-time coefficient. Indirect
+// (ILoad) and float-derived (IFromF) subscripts are never affine; slots
+// the body assigns are not invariant.
+func (rc *runCompiler) affineCoeff(x ir.IExpr) (int64, bool) {
+	switch e := x.(type) {
+	case ir.IConst:
+		return 0, true
+	case ir.ISlot:
+		if e.Slot == rc.slot {
+			return 1, true
+		}
+		if rc.banned[e.Slot] {
+			return 0, false
+		}
+		return 0, true
+	case ir.IBin:
+		ca, oka := rc.affineCoeff(e.A)
+		cb, okb := rc.affineCoeff(e.B)
+		if !oka || !okb {
+			return 0, false
+		}
+		switch e.Op {
+		case ir.IAdd:
+			return ca + cb, true
+		case ir.ISub:
+			return ca - cb, true
+		case ir.IMul:
+			if va, ok := constVal(e.A); ok {
+				return va * cb, true
+			}
+			if vb, ok := constVal(e.B); ok {
+				return ca * vb, true
+			}
+			return 0, ca == 0 && cb == 0
+		default:
+			// Division, modulus, shifts, min/max preserve affine form
+			// only when both sides are loop-invariant.
+			return 0, ca == 0 && cb == 0
+		}
+	}
+	return 0, false
+}
+
+// constVal folds compile-time integer constants (for stride extraction).
+func constVal(x ir.IExpr) (int64, bool) {
+	switch e := x.(type) {
+	case ir.IConst:
+		return e.Val, true
+	case ir.IBin:
+		va, oka := constVal(e.A)
+		vb, okb := constVal(e.B)
+		if !oka || !okb {
+			return 0, false
+		}
+		switch e.Op {
+		case ir.IAdd:
+			return va + vb, true
+		case ir.ISub:
+			return va - vb, true
+		case ir.IMul:
+			return va * vb, true
+		}
+	}
+	return 0, false
+}
+
+// stmt lowers one eligible statement. Costs mirror compiler.stmt.
+func (rc *runCompiler) stmt(s ir.Stmt) (stmtFn, int64) {
+	switch x := s.(type) {
+	case ir.AssignF:
+		rhs, rcost := rc.fexpr(x.RHS) // RHS sites first: evaluation order
+		_, acost := rc.c.addr(x.Arr, x.Idx)
+		st := rc.site(x.Arr, x.Idx, true)
+		if !rc.ok {
+			return nil, 0
+		}
+		id := st.id
+		return func(e *Env) {
+			v := rhs(e)
+			s := &e.sites[id]
+			s.span[s.pos] = math.Float64bits(v)
+		}, acost + rcost + costStore
+	case ir.AssignI:
+		rhs, rcost := rc.iexpr(x.RHS)
+		_, acost := rc.c.addr(x.Arr, x.Idx)
+		st := rc.site(x.Arr, x.Idx, true)
+		if !rc.ok {
+			return nil, 0
+		}
+		id := st.id
+		return func(e *Env) {
+			v := rhs(e)
+			s := &e.sites[id]
+			s.span[s.pos] = uint64(v)
+		}, acost + rcost + costStore
+	case ir.SetScalarF:
+		rhs, rcost := rc.fexpr(x.RHS)
+		if !rc.ok {
+			return nil, 0
+		}
+		slot := x.Slot
+		return func(e *Env) { e.Floats[slot] = rhs(e) }, rcost + costArith
+	case ir.SetScalarI:
+		rhs, rcost := rc.iexpr(x.RHS)
+		if !rc.ok {
+			return nil, 0
+		}
+		slot := x.Slot
+		return func(e *Env) { e.Ints[slot] = rhs(e) }, rcost + costArith
+	}
+	rc.reject()
+	return nil, 0
+}
+
+var zeroF fFn = func(*Env) float64 { return 0 }
+var zeroI iFn = func(*Env) int64 { return 0 }
+
+// fexpr mirrors compiler.fexpr with array loads routed through spans.
+// Leaves that cannot contain loads delegate to the slow compiler.
+func (rc *runCompiler) fexpr(x ir.FExpr) (fFn, int64) {
+	switch e := x.(type) {
+	case ir.FConst, ir.FScalar:
+		return rc.c.fexpr(x)
+	case ir.FLoad:
+		_, acost := rc.c.addr(e.Arr, e.Idx)
+		st := rc.site(e.Arr, e.Idx, false)
+		if !rc.ok {
+			return zeroF, 0
+		}
+		id := st.id
+		return func(e *Env) float64 {
+			s := &e.sites[id]
+			return math.Float64frombits(s.span[s.pos])
+		}, acost + costLoad
+	case ir.FBin:
+		a, ac := rc.fexpr(e.A)
+		b, bc := rc.fexpr(e.B)
+		cost := ac + bc + costArith
+		switch e.Op {
+		case ir.FAdd:
+			return func(e *Env) float64 { return a(e) + b(e) }, cost
+		case ir.FSub:
+			return func(e *Env) float64 { return a(e) - b(e) }, cost
+		case ir.FMul:
+			return func(e *Env) float64 { return a(e) * b(e) }, cost
+		case ir.FDiv:
+			return func(e *Env) float64 { return a(e) / b(e) }, cost
+		case ir.FMinOp:
+			return func(e *Env) float64 {
+				x, y := a(e), b(e)
+				if x < y {
+					return x
+				}
+				return y
+			}, cost
+		case ir.FMaxOp:
+			return func(e *Env) float64 {
+				x, y := a(e), b(e)
+				if x > y {
+					return x
+				}
+				return y
+			}, cost
+		}
+		rc.reject()
+	case ir.FNeg:
+		a, ac := rc.fexpr(e.X)
+		return func(e *Env) float64 { return -a(e) }, ac + costArith
+	case ir.FromInt:
+		a, ac := rc.iexpr(e.X)
+		return func(e *Env) float64 { return float64(a(e)) }, ac + costArith
+	case ir.FCall:
+		return rc.c.callWith(e, rc.fexpr)
+	}
+	rc.reject()
+	return zeroF, 0
+}
+
+// iexpr mirrors compiler.iexpr with array loads routed through spans.
+func (rc *runCompiler) iexpr(x ir.IExpr) (iFn, int64) {
+	switch e := x.(type) {
+	case ir.IConst, ir.ISlot:
+		return rc.c.iexpr(x)
+	case ir.ILoad:
+		_, acost := rc.c.addr(e.Arr, e.Idx)
+		st := rc.site(e.Arr, e.Idx, false)
+		if !rc.ok {
+			return zeroI, 0
+		}
+		id := st.id
+		return func(e *Env) int64 {
+			s := &e.sites[id]
+			return int64(s.span[s.pos])
+		}, acost + costLoad
+	case ir.IBin:
+		a, ac := rc.iexpr(e.A)
+		b, bc := rc.iexpr(e.B)
+		cost := ac + bc + costArith
+		switch e.Op {
+		case ir.IAdd:
+			return func(e *Env) int64 { return a(e) + b(e) }, cost
+		case ir.ISub:
+			return func(e *Env) int64 { return a(e) - b(e) }, cost
+		case ir.IMul:
+			return func(e *Env) int64 { return a(e) * b(e) }, cost
+		case ir.IDiv:
+			return func(e *Env) int64 { return a(e) / b(e) }, cost
+		case ir.IMod:
+			return func(e *Env) int64 { return a(e) % b(e) }, cost
+		case ir.IShl:
+			return func(e *Env) int64 { return a(e) << uint(b(e)) }, cost
+		case ir.IShr:
+			return func(e *Env) int64 { return a(e) >> uint(b(e)) }, cost
+		case ir.IMin:
+			return func(e *Env) int64 {
+				x, y := a(e), b(e)
+				if x < y {
+					return x
+				}
+				return y
+			}, cost
+		case ir.IMax:
+			return func(e *Env) int64 {
+				x, y := a(e), b(e)
+				if x > y {
+					return x
+				}
+				return y
+			}, cost
+		}
+		rc.reject()
+	case ir.IFromF:
+		f, fc := rc.fexpr(e.X)
+		return func(e *Env) int64 { return int64(f(e)) }, fc + costArith
+	}
+	rc.reject()
+	return zeroI, 0
+}

@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"encoding/binary"
 	"math"
 
 	"repro/internal/ir"
@@ -23,7 +22,7 @@ func SeedI64(file *stripefs.File, pageSize int64, arr *ir.Array, gen func(i int6
 
 func seed(file *stripefs.File, pageSize int64, arr *ir.Array, gen func(i int64) uint64) {
 	perPage := pageSize / ir.ElemSize
-	buf := make([]byte, pageSize)
+	buf := make([]uint64, perPage)
 	firstPage := arr.Base / pageSize
 	nPages := (arr.Elems*ir.ElemSize + pageSize - 1) / pageSize
 	for p := int64(0); p < nPages; p++ {
@@ -33,8 +32,8 @@ func seed(file *stripefs.File, pageSize int64, arr *ir.Array, gen func(i int64) 
 			if i < arr.Elems {
 				w = gen(i)
 			}
-			binary.LittleEndian.PutUint64(buf[k*ir.ElemSize:], w)
+			buf[k] = w
 		}
-		file.SetPage(firstPage+p, buf)
+		file.SetPageWords(firstPage+p, buf)
 	}
 }

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/nas"
+)
+
+// checkSameSimulation asserts that two runs of the same kernel are the
+// same simulation down to the last tick: identical output fingerprint,
+// elapsed time, time breakdown, memory-manager event counts, run-time
+// layer counters, and injected-fault tallies. This is the executor
+// fast path's contract — page-run specialization removes host-side
+// interpretation overhead and nothing else.
+func checkSameSimulation(t *testing.T, name string,
+	fast *core.Result, fastSum uint64, slow *core.Result, slowSum uint64) {
+	t.Helper()
+	if fastSum != slowSum {
+		t.Errorf("%s: output fingerprint diverged: fast %#x, slow %#x", name, fastSum, slowSum)
+	}
+	if fast.Elapsed != slow.Elapsed {
+		t.Errorf("%s: elapsed diverged: fast %v, slow %v", name, fast.Elapsed, slow.Elapsed)
+	}
+	if fast.Times != slow.Times {
+		t.Errorf("%s: time breakdown diverged:\nfast %+v\nslow %+v", name, fast.Times, slow.Times)
+	}
+	if fast.Mem != slow.Mem {
+		t.Errorf("%s: vm stats diverged:\nfast %+v\nslow %+v", name, fast.Mem, slow.Mem)
+	}
+	if fast.RT != slow.RT {
+		t.Errorf("%s: rt stats diverged:\nfast %+v\nslow %+v", name, fast.RT, slow.RT)
+	}
+	if fast.Faults != slow.Faults {
+		t.Errorf("%s: fault injection diverged:\nfast %+v\nslow %+v", name, fast.Faults, slow.Faults)
+	}
+}
+
+// runBoth executes the kernel with the page-run fast path on (the
+// default) and off, under the same profile, and checks equivalence.
+func runBoth(t *testing.T, k Kernel, prof *fault.Profile) {
+	t.Helper()
+	fastK := k
+	fastK.Cfg.NoFastPath = false
+	fast, fastSum, err := Run(fastK, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowK := k
+	slowK.Cfg.NoFastPath = true
+	slow, slowSum, err := Run(slowK, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := k.Name
+	if prof != nil {
+		name += "/" + prof.Name
+	}
+	checkSameSimulation(t, name, fast, fastSum, slow, slowSum)
+}
+
+// TestFastPathEquivalenceNAS is the differential property of ISSUE 5:
+// for every NAS proxy in the matrix, a run with page-run specialization
+// must be tick-identical to a run without it — fault-free and under
+// every seeded fault profile.
+func TestFastPathEquivalenceNAS(t *testing.T) {
+	apps := matrixApps()
+	profiles := matrixProfiles
+	if testing.Short() {
+		apps = apps[:2]
+		profiles = []string{"chaos"}
+	}
+	for ai, app := range apps {
+		app := app
+		ai := ai
+		t.Run(app.Name, func(t *testing.T) {
+			k, err := App(app, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Run("clean", func(t *testing.T) { runBoth(t, k, nil) })
+			for pi, name := range profiles {
+				p, ok := fault.ProfileByName(name)
+				if !ok {
+					t.Fatalf("unknown profile %q", name)
+				}
+				p.Seed = uint64(31 + 100*ai + pi) // same family, fresh seeds
+				prof := p
+				t.Run(name, func(t *testing.T) { runBoth(t, k, &prof) })
+			}
+		})
+	}
+}
+
+// TestFastPathEquivalenceExamples covers the examples corpus: every
+// kernel, fault-free and under the chaos profile, fast on vs off.
+func TestFastPathEquivalenceExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example corpus covered at full length only")
+	}
+	files, err := filepath.Glob("../../../examples/kernels/*.loop")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no kernel corpus found: %v", err)
+	}
+	for fi, path := range files {
+		path := path
+		fi := fi
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			build := func() *ir.Program {
+				p, err := lang.Parse(string(src))
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				return p
+			}
+			prog := build()
+			ps := hw.Default().PageSize
+			if err := prog.Resolve(ps); err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig(core.MachineFor(nas.DataBytes(prog, ps), 2))
+			cfg.Seed = exampleSeed
+			k := Kernel{Name: filepath.Base(path), Build: build, Cfg: cfg}
+			runBoth(t, k, nil)
+			prof, _ := fault.ProfileByName("chaos")
+			prof.Seed = uint64(61 + fi)
+			runBoth(t, k, &prof)
+		})
+	}
+}

@@ -124,14 +124,19 @@ func (l *Layer) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
 
 	// Check pages until one is found that is not in memory; everything
 	// before it is filtered, everything from it on is passed through.
+	// NextClear scans the vector a word at a time; the simulated cost is
+	// still one FilterCheckTime per page the per-page loop would have
+	// inspected — the filtered run plus the first absent page, if any —
+	// batched into a single charge.
 	p := pfPage
 	end := pfPage + pfN
-	for p < end {
-		l.vm.AddUserTime(l.vm.Params().FilterCheckTime)
-		if !l.bv.Get(p) {
-			break
+	if pfN > 0 {
+		p = l.bv.NextClear(pfPage, end)
+		checked := pfN
+		if p < end {
+			checked = p - pfPage + 1
 		}
-		p++
+		l.vm.AddUserTimeN(l.vm.Params().FilterCheckTime, checked)
 	}
 	l.n.FilteredPages += p - pfPage
 
@@ -146,8 +151,6 @@ func (l *Layer) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
 	// Set the bits at issue time, as the paper specifies. If the OS drops
 	// the prefetch the bit is merely stale: the page faults on use, which
 	// is always safe, and the OS re-clears bits on reclaim.
-	for q := p; q < end; q++ {
-		l.bv.Set(q)
-	}
+	l.bv.SetRange(p, issueN)
 	l.vm.PrefetchRelease(p, issueN, relPage, relN)
 }

@@ -9,10 +9,7 @@
 // forward until the condition it is waiting for becomes true.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in simulated time, in nanoseconds since the start of the
 // run. It is a distinct type to keep simulated time from being confused
@@ -55,22 +52,58 @@ type event struct {
 	fn   func()
 }
 
+// eventHeap is a binary min-heap ordered by (when, seq). It is
+// hand-rolled rather than layered on container/heap: that API moves
+// every element through interface{}, which boxes each event twice (once
+// on Push, once on Pop) — two heap allocations per scheduled event on
+// the I/O completion path.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].when != h[j].when {
 		return h[i].when < h[j].when
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	e := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the closure to the GC
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
 	return e
 }
 
@@ -153,7 +186,7 @@ func (c *Clock) At(t Time, fn func()) {
 	}
 	c.seq++
 	c.scheduled++
-	heap.Push(&c.events, event{when: t, seq: c.seq, fn: fn})
+	c.events.push(event{when: t, seq: c.seq, fn: fn})
 }
 
 // Advance moves simulated time forward by d, firing any events that come
@@ -178,7 +211,7 @@ func (c *Clock) AdvanceTo(t Time) {
 		}
 	}
 	for len(c.events) > 0 && c.events[0].when <= t {
-		e := heap.Pop(&c.events).(event)
+		e := c.events.pop()
 		c.now = e.when
 		c.dispatched++
 		e.fn()
@@ -203,7 +236,7 @@ func (c *Clock) WaitFor(cond func() bool) Time {
 			}
 			panic(msg)
 		}
-		e := heap.Pop(&c.events).(event)
+		e := c.events.pop()
 		c.now = e.when
 		c.dispatched++
 		e.fn()
@@ -216,7 +249,7 @@ func (c *Clock) WaitFor(cond func() bool) Time {
 // empty.
 func (c *Clock) Drain() {
 	for len(c.events) > 0 {
-		e := heap.Pop(&c.events).(event)
+		e := c.events.pop()
 		c.now = e.when
 		c.dispatched++
 		e.fn()

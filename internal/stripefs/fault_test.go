@@ -1,7 +1,7 @@
 package stripefs
 
 import (
-	"bytes"
+	"slices"
 	"testing"
 
 	"repro/internal/disk"
@@ -42,14 +42,13 @@ func TestReadDoneFiresExactlyOnceUnderFaults(t *testing.T) {
 	for _, kind := range []disk.Kind{disk.FaultRead, disk.PrefetchRead} {
 		c, fs, _ := faultyFS(t, harsh(11))
 		f, _ := fs.Create("f", 64)
-		ps := fs.Params().PageSize
-		buf := make([]byte, ps)
+		buf := make([]uint64, fs.Params().PageSize/8)
 		for r := 0; r < 8; r++ {
 			doneCount := 0
 			var resolved int64
 			var n int64 = 8
 			f.Read(int64(r*8), n, kind,
-				func(int64) []byte { return buf },
+				func(int64) []uint64 { return buf },
 				func(int64) { resolved++ },
 				func(int64) { resolved++ },
 				func() { doneCount++ })
@@ -69,16 +68,16 @@ func TestReadDoneFiresExactlyOnceUnderFaults(t *testing.T) {
 func TestDemandReadsRequeueUntilDataArrives(t *testing.T) {
 	c, fs, reg := faultyFS(t, harsh(23))
 	f, _ := fs.Create("f", 64)
-	ps := fs.Params().PageSize
-	want := map[int64][]byte{}
+	pw := fs.Params().PageSize / 8
+	want := map[int64][]uint64{}
 	for p := int64(0); p < 64; p++ {
-		data := bytes.Repeat([]byte{byte(p + 1)}, int(ps))
-		f.SetPage(p, data)
+		data := fillWords(pw, uint64(p+1))
+		f.SetPageWords(p, data)
 		want[p] = data
 	}
-	got := map[int64][]byte{}
-	buf := func(p int64) []byte {
-		b := make([]byte, ps)
+	got := map[int64][]uint64{}
+	buf := func(p int64) []uint64 {
+		b := make([]uint64, pw)
 		got[p] = b
 		return b
 	}
@@ -91,7 +90,7 @@ func TestDemandReadsRequeueUntilDataArrives(t *testing.T) {
 		t.Fatalf("%d of 8 reads completed", done)
 	}
 	for p := int64(0); p < 64; p++ {
-		if !bytes.Equal(got[p], want[p]) {
+		if !slices.Equal(got[p], want[p]) {
 			t.Fatalf("page %d content mismatch after faulted read", p)
 		}
 	}
@@ -109,13 +108,12 @@ func TestDemandReadsRequeueUntilDataArrives(t *testing.T) {
 func TestPrefetchReadsAbandonOnPermanentFailure(t *testing.T) {
 	c, fs, reg := faultyFS(t, harsh(37))
 	f, _ := fs.Create("f", 64)
-	ps := fs.Params().PageSize
 	arrived := map[int64]bool{}
 	abandoned := map[int64]bool{}
-	buf := make([]byte, ps)
+	buf := make([]uint64, fs.Params().PageSize/8)
 	for p := int64(0); p < 64; p += 8 {
 		f.Read(p, 8, disk.PrefetchRead,
-			func(int64) []byte { return buf },
+			func(int64) []uint64 { return buf },
 			func(p int64) { arrived[p] = true },
 			func(p int64) { abandoned[p] = true },
 			nil)
@@ -147,17 +145,17 @@ func TestPrefetchReadsAbandonOnPermanentFailure(t *testing.T) {
 func TestWritesRequeueUntilDurable(t *testing.T) {
 	c, fs, reg := faultyFS(t, harsh(53))
 	f, _ := fs.Create("f", 32)
-	ps := fs.Params().PageSize
+	pw := fs.Params().PageSize / 8
 	done := 0
 	for p := int64(0); p < 32; p++ {
-		f.Write(p, bytes.Repeat([]byte{byte(p + 1)}, int(ps)), func() { done++ })
+		f.Write(p, fillWords(pw, uint64(p+1)), func() { done++ })
 	}
 	c.Drain()
 	if done != 32 {
 		t.Fatalf("%d of 32 writes completed", done)
 	}
 	for p := int64(0); p < 32; p++ {
-		if got := f.PeekPage(p); got == nil || got[0] != byte(p+1) {
+		if got := f.PeekPage(p); got == nil || got[0] != uint64(p+1) {
 			t.Fatalf("page %d not durably written", p)
 		}
 	}
@@ -172,9 +170,9 @@ func TestFaultedFSDeterministic(t *testing.T) {
 	run := func() (sim.Time, []disk.Stats) {
 		c, fs, _ := faultyFS(t, harsh(71))
 		f, _ := fs.Create("f", 64)
-		buf := make([]byte, fs.Params().PageSize)
+		buf := make([]uint64, fs.Params().PageSize/8)
 		for p := int64(0); p < 64; p += 4 {
-			f.Read(p, 4, disk.FaultRead, func(int64) []byte { return buf }, nil, nil, nil)
+			f.Read(p, 4, disk.FaultRead, func(int64) []uint64 { return buf }, nil, nil, nil)
 			f.Write(p, buf, nil)
 		}
 		c.Drain()

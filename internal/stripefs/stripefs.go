@@ -3,6 +3,10 @@
 // placement (contiguous file blocks on a disk occupy contiguous disk
 // blocks, so sequential access needs no seeks). This mirrors the Hurricane
 // File System configuration used in the paper.
+//
+// Page contents move through the layer as []uint64 words — the VM's
+// native frame format — so a transfer is one word-slice copy with no
+// byte-level encoding anywhere on the I/O path.
 package stripefs
 
 import (
@@ -24,11 +28,20 @@ type FS struct {
 	nextBlock []int64
 	files     []*File
 
-	// flt gates the degradation closures: without an injector the disks
-	// can never fail a request, so Read/Write skip building Failed
-	// handlers and the fault-free hot path allocates exactly what it did
-	// before fault injection existed.
+	// flt gates the degradation handlers: without an injector the disks
+	// can never fail a request, so Read/Write skip attaching Failed
+	// handlers and the fault-free hot path does no failure bookkeeping.
 	flt *fault.Injector
+
+	// Free lists of request-state objects and page buffers. Every I/O
+	// used to allocate its completion closures and (for writes) a page
+	// copy; recycling them makes the steady-state read and write paths
+	// allocation-free. Single-threaded like everything else here: the
+	// run's one simulator goroutine is the only pusher and popper.
+	freeReadOps  *readOp
+	freeSubReqs  *subReq
+	freeWriteOps *writeOp
+	freePageBufs [][]uint64
 
 	// Degradation accounting under fault injection. Cold path: these only
 	// move when a disk request exhausts its retry policy.
@@ -81,6 +94,78 @@ func (fs *FS) Disks() []*disk.Disk { return fs.disks }
 // Params returns the hardware parameters the file system was built with.
 func (fs *FS) Params() hw.Params { return fs.p }
 
+// ---- request-state pools ------------------------------------------------
+
+func (fs *FS) getReadOp() *readOp {
+	op := fs.freeReadOps
+	if op == nil {
+		return &readOp{fs: fs}
+	}
+	fs.freeReadOps = op.next
+	op.next = nil
+	return op
+}
+
+func (fs *FS) putReadOp(op *readOp) {
+	op.file, op.dst, op.arrived, op.failed, op.done = nil, nil, nil, nil, nil
+	op.next = fs.freeReadOps
+	fs.freeReadOps = op
+}
+
+// getSubReq returns a sub-request with its completion callbacks already
+// bound: the method values are created once per pooled object, not once
+// per I/O.
+func (fs *FS) getSubReq() *subReq {
+	s := fs.freeSubReqs
+	if s == nil {
+		s = &subReq{fs: fs}
+		s.deliverFn = s.deliver
+		s.failedFn = s.failed
+		return s
+	}
+	fs.freeSubReqs = s.next
+	s.next = nil
+	return s
+}
+
+func (fs *FS) putSubReq(s *subReq) {
+	s.op = nil // a stale disk callback now faults loudly instead of corrupting a recycled op
+	s.next = fs.freeSubReqs
+	fs.freeSubReqs = s
+}
+
+func (fs *FS) getWriteOp() *writeOp {
+	w := fs.freeWriteOps
+	if w == nil {
+		w = &writeOp{fs: fs}
+		w.deliverFn = w.deliver
+		w.failedFn = w.failed
+		return w
+	}
+	fs.freeWriteOps = w.next
+	w.next = nil
+	return w
+}
+
+func (fs *FS) putWriteOp(w *writeOp) {
+	w.file, w.buf, w.done = nil, nil, nil
+	w.next = fs.freeWriteOps
+	fs.freeWriteOps = w
+}
+
+func (fs *FS) getPageBuf() []uint64 {
+	if n := len(fs.freePageBufs); n > 0 {
+		buf := fs.freePageBufs[n-1]
+		fs.freePageBufs = fs.freePageBufs[:n-1]
+		return buf
+	}
+	return make([]uint64, fs.p.PageSize/8)
+}
+
+func (fs *FS) putPageBuf(buf []uint64) {
+	fs.freePageBufs = append(fs.freePageBufs, buf)
+}
+
 // A File is a striped, extent-allocated file. Page p of the file lives on
 // disk p mod D at disk-local block base[p mod D] + p div D.
 type File struct {
@@ -89,9 +174,9 @@ type File struct {
 	pages int64
 	base  []int64 // starting block on each disk
 
-	// Backing contents, one slice per file page; nil means all-zero.
+	// Backing contents, one word slice per file page; nil means all-zero.
 	// This is the "data on disk": reads copy out of it, writes copy in.
-	store [][]byte
+	store [][]uint64
 }
 
 // Create allocates a file of the given number of pages, laid out in one
@@ -102,7 +187,7 @@ func (fs *FS) Create(name string, pages int64) (*File, error) {
 	}
 	d := int64(fs.p.NumDisks)
 	perDisk := (pages + d - 1) / d
-	f := &File{fs: fs, name: name, pages: pages, base: make([]int64, d), store: make([][]byte, pages)}
+	f := &File{fs: fs, name: name, pages: pages, base: make([]int64, d), store: make([][]uint64, pages)}
 	for i := int64(0); i < d; i++ {
 		f.base[i] = fs.nextBlock[i]
 		fs.nextBlock[i] += perDisk
@@ -139,23 +224,50 @@ func (f *File) QueueLenOf(page int64) int {
 	return f.fs.disks[d].QueueLen()
 }
 
-// SetPage installs the backing contents of a page without simulated I/O.
-// It is how experiments pre-initialize input files ("the data now comes
-// from disk"). The slice is copied.
-func (f *File) SetPage(page int64, data []byte) {
-	f.check(page, 1)
-	ps := int(f.fs.p.PageSize)
-	if len(data) > ps {
-		panic(fmt.Sprintf("stripefs: page data %d B exceeds page size %d", len(data), ps))
+// storeBufFor returns a zeroed page buffer installed as the backing
+// contents of page, reusing the existing one when present.
+func (f *File) storeBufFor(page int64) []uint64 {
+	buf := f.store[page]
+	if buf == nil {
+		buf = f.fs.getPageBuf()
+		f.store[page] = buf
 	}
-	buf := make([]byte, ps)
-	copy(buf, data)
-	f.store[page] = buf
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
-// PeekPage returns the current backing contents of a page (nil means
-// all-zero). The caller must not mutate the result.
-func (f *File) PeekPage(page int64) []byte {
+// SetPage installs the backing contents of a page from raw bytes
+// (little-endian words) without simulated I/O. It is how experiments
+// pre-initialize input files ("the data now comes from disk"); data may
+// be shorter than a page, the rest is zero. The slice is copied.
+func (f *File) SetPage(page int64, data []byte) {
+	f.check(page, 1)
+	if int64(len(data)) > f.fs.p.PageSize {
+		panic(fmt.Sprintf("stripefs: page data %d B exceeds page size %d", len(data), f.fs.p.PageSize))
+	}
+	buf := f.storeBufFor(page)
+	for i, c := range data {
+		buf[i>>3] |= uint64(c) << uint(8*(i&7))
+	}
+}
+
+// SetPageWords is SetPage for word-formatted data, the layer's native
+// page format. The slice is copied.
+func (f *File) SetPageWords(page int64, data []uint64) {
+	f.check(page, 1)
+	if int64(len(data)) > f.fs.p.PageSize/8 {
+		panic(fmt.Sprintf("stripefs: page data %d words exceeds page size %d", len(data), f.fs.p.PageSize))
+	}
+	buf := f.storeBufFor(page)
+	copy(buf, data)
+}
+
+// PeekPage returns the current backing contents of a page as words (nil
+// means all-zero). The caller must not mutate or retain the result: the
+// buffer is recycled when the page is next written.
+func (f *File) PeekPage(page int64) []uint64 {
 	f.check(page, 1)
 	return f.store[page]
 }
@@ -166,8 +278,107 @@ func (f *File) check(page, n int64) {
 	}
 }
 
+// readOp is the shared state of one File.Read call: the callbacks and
+// the count of unresolved sub-requests. Pooled on the FS free list.
+type readOp struct {
+	fs        *FS
+	file      *File
+	dst       func(page int64) []uint64
+	arrived   func(page int64)
+	failed    func(page int64)
+	done      func()
+	remaining int
+	next      *readOp
+}
+
+// complete resolves one sub-request; the last one fires done and recycles
+// the op. Each sub-request resolves through exactly one of Done/Failed
+// (the disk's contract), so remaining reaches zero exactly once.
+func (op *readOp) complete() {
+	op.remaining--
+	if op.remaining > 0 {
+		return
+	}
+	done := op.done
+	op.fs.putReadOp(op)
+	if done != nil {
+		done()
+	}
+}
+
+// subReq is one disk's share of a striped read: count pages starting at
+// file page first, every step-th page. Pooled, with its disk callbacks
+// bound once at allocation.
+type subReq struct {
+	fs    *FS
+	op    *readOp
+	first int64
+	count int64
+	step  int64 // page stride on one disk = number of disks
+	disk  int
+	block int64
+	kind  disk.Kind
+
+	deliverFn func()
+	failedFn  func()
+	next      *subReq
+}
+
+// deliver copies the transferred pages out of the backing store into the
+// caller's buffers and resolves the sub-request.
+func (s *subReq) deliver() {
+	op := s.op
+	if op == nil {
+		panic("stripefs: read sub-request resolved twice")
+	}
+	f := op.file
+	for i := int64(0); i < s.count; i++ {
+		p := s.first + i*s.step
+		buf := op.dst(p)
+		if src := f.store[p]; src != nil {
+			copy(buf, src)
+		} else {
+			for j := range buf {
+				buf[j] = 0
+			}
+		}
+		if op.arrived != nil {
+			op.arrived(p)
+		}
+	}
+	s.fs.putSubReq(s)
+	op.complete()
+}
+
+// failed handles a sub-request whose retry policy is exhausted, per the
+// Read degradation contract: prefetches are abandoned page by page,
+// demand reads are resubmitted with a fresh retry budget.
+func (s *subReq) failed() {
+	op := s.op
+	if op == nil {
+		panic("stripefs: read sub-request resolved twice")
+	}
+	fs := s.fs
+	if s.kind == disk.PrefetchRead {
+		fs.abandonedPages.Add(s.count)
+		for i := int64(0); i < s.count; i++ {
+			if op.failed != nil {
+				op.failed(s.first + i*s.step)
+			}
+		}
+		fs.putSubReq(s)
+		op.complete()
+		return
+	}
+	fs.requeuedReads.Inc()
+	fs.disks[s.disk].Submit(disk.Request{
+		Block: s.block, Pages: s.count, Kind: s.kind,
+		Done: s.deliverFn, Failed: s.failedFn,
+	})
+}
+
 // Read issues asynchronous reads of file pages [page, page+n). When a
-// page's disk transfer completes its data is copied into the buffer
+// page's disk transfer completes its words are copied into the buffer
 // returned by dst(page) and then arrived(page), if non-nil, is invoked.
 // Contiguous pages that land on the same disk are coalesced into a
 // single request so a block prefetch of k pages costs one positional
@@ -189,7 +400,10 @@ func (f *File) check(page, n int64) {
 //     each lost page ("stripefs.abandoned_prefetch_pages"), no data is
 //     copied, and the pages count as resolved so done still fires. The
 //     caller recovers later through the normal demand-fault path.
-func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []byte, arrived func(page int64), failed func(page int64), done func()) {
+//
+// All request state comes from the FS pools, so a steady-state read —
+// faulted or not — allocates nothing.
+func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []uint64, arrived func(page int64), failed func(page int64), done func()) {
 	f.check(page, n)
 	if n == 0 {
 		if done != nil {
@@ -197,25 +411,15 @@ func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []byte, 
 		}
 		return
 	}
-	d := int64(f.fs.p.NumDisks)
-	remaining := 0
-	complete := func() {
-		// remaining doubles as the exactly-once guard: every sub-request
-		// resolves through exactly one of Done/Failed, so a negative count
-		// can only mean a double resolution. Reusing the counter keeps the
-		// guard off the heap — a separate captured bool would cost an
-		// allocation on every fault-free read.
-		remaining--
-		if remaining > 0 || done == nil {
-			return
-		}
-		if remaining < 0 {
-			panic("stripefs: read done callback fired twice")
-		}
-		done()
-	}
+	fs := f.fs
+	op := fs.getReadOp()
+	op.file, op.dst, op.arrived, op.failed, op.done = f, dst, arrived, failed, done
 	// Per disk, the file pages in [page, page+n) form one contiguous run
-	// of disk-local blocks, so each disk gets at most one request.
+	// of disk-local blocks, so each disk gets at most one request. No
+	// completion can run before the loop finishes (the disks signal
+	// through the simulated clock), so remaining is fully accumulated
+	// before the first decrement.
+	d := int64(fs.p.NumDisks)
 	for dd := int64(0); dd < d; dd++ {
 		first := page + ((dd-page%d)%d+d)%d // first page ≥ page on disk dd
 		if first >= page+n {
@@ -223,87 +427,87 @@ func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []byte, 
 		}
 		count := (page + n - first + d - 1) / d
 		_, startBlock := f.locate(first)
-		remaining++
-		deliver := func() {
-			for i := int64(0); i < count; i++ {
-				p := first + i*d
-				buf := dst(p)
-				if src := f.store[p]; src != nil {
-					copy(buf, src)
-				} else {
-					for j := range buf {
-						buf[j] = 0
-					}
-				}
-				if arrived != nil {
-					arrived(p)
-				}
-			}
-			complete()
+		op.remaining++
+		s := fs.getSubReq()
+		s.op, s.first, s.count, s.step = op, first, count, d
+		s.disk, s.block, s.kind = int(dd), startBlock, kind
+		req := disk.Request{Block: startBlock, Pages: count, Kind: kind, Done: s.deliverFn}
+		// The degradation handler is attached only under fault injection:
+		// a fault-free disk never fails a request.
+		if fs.flt != nil {
+			req.Failed = s.failedFn
 		}
-		req := disk.Request{Block: startBlock, Pages: count, Kind: kind, Done: deliver}
-		// Degradation handlers exist only under fault injection: a
-		// fault-free disk never fails a request. The resubmit closure
-		// rebuilds the request from its parts rather than capturing req —
-		// a self-capture would force req onto the heap on every read,
-		// faulted or not (escape analysis is static).
-		if f.fs.flt != nil {
-			if kind == disk.PrefetchRead {
-				req.Failed = func() {
-					f.fs.abandonedPages.Add(count)
-					for i := int64(0); i < count; i++ {
-						if failed != nil {
-							failed(first + i*d)
-						}
-					}
-					complete()
-				}
-			} else {
-				var resubmit func()
-				resubmit = func() {
-					f.fs.requeuedReads.Inc()
-					f.fs.disks[dd].Submit(disk.Request{
-						Block: startBlock, Pages: count, Kind: kind,
-						Done: deliver, Failed: resubmit,
-					})
-				}
-				req.Failed = resubmit
-			}
-		}
-		f.fs.disks[dd].Submit(req)
+		fs.disks[dd].Submit(req)
 	}
 }
 
-// Write issues an asynchronous write-back of one page. The source buffer
-// is captured immediately (the frame may be reused right away); done runs
-// at transfer completion. Dirty data must reach the platter, so a
-// write-back that exhausts its retry policy is resubmitted with a fresh
-// budget ("stripefs.requeued_writes") until it succeeds; the backing
-// store only ever changes on success.
-func (f *File) Write(page int64, src []byte, done func()) {
+// writeOp is the state of one in-flight page write-back: the captured
+// page contents plus the resubmission coordinates. Pooled, with its disk
+// callbacks bound once at allocation.
+type writeOp struct {
+	fs    *FS
+	file  *File
+	page  int64
+	buf   []uint64
+	done  func()
+	disk  int
+	block int64
+
+	deliverFn func()
+	failedFn  func()
+	next      *writeOp
+}
+
+// deliver installs the captured contents as the page's backing store,
+// recycling the displaced buffer, and fires done.
+func (w *writeOp) deliver() {
+	f := w.file
+	if f == nil {
+		panic("stripefs: write resolved twice")
+	}
+	fs := w.fs
+	if old := f.store[w.page]; old != nil {
+		fs.putPageBuf(old)
+	}
+	f.store[w.page] = w.buf
+	w.buf = nil
+	done := w.done
+	fs.putWriteOp(w)
+	if done != nil {
+		done()
+	}
+}
+
+// failed resubmits a write-back whose retry policy is exhausted: dirty
+// data must reach the platter.
+func (w *writeOp) failed() {
+	w.fs.requeuedWrites.Inc()
+	w.fs.disks[w.disk].Submit(disk.Request{
+		Block: w.block, Pages: 1, Kind: disk.Write,
+		Done: w.deliverFn, Failed: w.failedFn,
+	})
+}
+
+// Write issues an asynchronous write-back of one page of words. The
+// source buffer is captured immediately (the frame may be reused right
+// away); done runs at transfer completion. Dirty data must reach the
+// platter, so a write-back that exhausts its retry policy is resubmitted
+// with a fresh budget ("stripefs.requeued_writes") until it succeeds;
+// the backing store only ever changes on success.
+func (f *File) Write(page int64, src []uint64, done func()) {
 	f.check(page, 1)
-	buf := make([]byte, f.fs.p.PageSize)
-	copy(buf, src)
-	diskID, block := f.locate(page)
-	deliver := func() {
-		f.store[page] = buf
-		if done != nil {
-			done()
-		}
+	fs := f.fs
+	w := fs.getWriteOp()
+	buf := fs.getPageBuf()
+	n := copy(buf, src)
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
 	}
-	req := disk.Request{Block: block, Pages: 1, Kind: disk.Write, Done: deliver}
-	// As in Read: built only under fault injection, and rebuilt from
-	// parts so req itself never escapes.
-	if f.fs.flt != nil {
-		var resubmit func()
-		resubmit = func() {
-			f.fs.requeuedWrites.Inc()
-			f.fs.disks[diskID].Submit(disk.Request{
-				Block: block, Pages: 1, Kind: disk.Write,
-				Done: deliver, Failed: resubmit,
-			})
-		}
-		req.Failed = resubmit
+	w.file, w.page, w.buf, w.done = f, page, buf, done
+	w.disk, w.block = f.locate(page)
+	req := disk.Request{Block: w.block, Pages: 1, Kind: disk.Write, Done: w.deliverFn}
+	if fs.flt != nil {
+		req.Failed = w.failedFn
 	}
-	f.fs.disks[diskID].Submit(req)
+	fs.disks[w.disk].Submit(req)
 }

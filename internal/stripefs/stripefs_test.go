@@ -1,7 +1,7 @@
 package stripefs
 
 import (
-	"bytes"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -13,6 +13,15 @@ import (
 func newFS() (*sim.Clock, *FS) {
 	c := sim.NewClock()
 	return c, New(c, hw.Scaled(8<<20), nil)
+}
+
+// fillWords returns n words, each set to w.
+func fillWords(n int64, w uint64) []uint64 {
+	b := make([]uint64, n)
+	for i := range b {
+		b[i] = w
+	}
+	return b
 }
 
 func TestCreateValidatesSize(t *testing.T) {
@@ -80,16 +89,16 @@ func TestTwoFilesDoNotOverlap(t *testing.T) {
 func TestReadDeliversStoredData(t *testing.T) {
 	c, fs := newFS()
 	f, _ := fs.Create("f", 8)
-	ps := fs.Params().PageSize
-	want := make(map[int64][]byte)
+	pw := fs.Params().PageSize / 8
+	want := make(map[int64][]uint64)
 	for p := int64(0); p < 8; p++ {
-		data := bytes.Repeat([]byte{byte(p + 1)}, int(ps))
-		f.SetPage(p, data)
+		data := fillWords(pw, uint64(p+1))
+		f.SetPageWords(p, data)
 		want[p] = data
 	}
-	got := map[int64][]byte{}
-	buf := func(p int64) []byte {
-		b := make([]byte, ps)
+	got := map[int64][]uint64{}
+	buf := func(p int64) []uint64 {
+		b := make([]uint64, pw)
 		got[p] = b
 		return b
 	}
@@ -100,23 +109,47 @@ func TestReadDeliversStoredData(t *testing.T) {
 		t.Fatal("Read never completed")
 	}
 	for p := int64(0); p < 8; p++ {
-		if !bytes.Equal(got[p], want[p]) {
+		if !slices.Equal(got[p], want[p]) {
 			t.Fatalf("page %d content mismatch", p)
 		}
+	}
+}
+
+// SetPage takes raw bytes and must lay them out as little-endian words,
+// zero-filling the rest of the page — the byte-level view tests and
+// experiment seeding rely on.
+func TestSetPageBytesAreLittleEndianWords(t *testing.T) {
+	_, fs := newFS()
+	f, _ := fs.Create("f", 2)
+	f.SetPage(1, []byte{0x01, 0x02, 0x03, 0, 0, 0, 0, 0, 0xFF})
+	got := f.PeekPage(1)
+	if got[0] != 0x030201 {
+		t.Fatalf("word 0 = %#x, want 0x030201", got[0])
+	}
+	if got[1] != 0xFF {
+		t.Fatalf("word 1 = %#x, want 0xff (partial trailing bytes)", got[1])
+	}
+	for i := 2; i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("word %d = %#x, want zero fill", i, got[i])
+		}
+	}
+	// Overwriting with fewer bytes must clear what was there before.
+	f.SetPage(1, []byte{0x07})
+	got = f.PeekPage(1)
+	if got[0] != 0x07 || got[1] != 0 {
+		t.Fatalf("after overwrite: words %#x %#x, want 0x07 0", got[0], got[1])
 	}
 }
 
 func TestReadZeroFillsUnwrittenPages(t *testing.T) {
 	c, fs := newFS()
 	f, _ := fs.Create("f", 2)
-	buf := make([]byte, fs.Params().PageSize)
-	for i := range buf {
-		buf[i] = 0xFF
-	}
-	f.Read(1, 1, disk.FaultRead, func(int64) []byte { return buf }, nil, nil, nil)
+	buf := fillWords(fs.Params().PageSize/8, ^uint64(0))
+	f.Read(1, 1, disk.FaultRead, func(int64) []uint64 { return buf }, nil, nil, nil)
 	c.Drain()
-	for _, b := range buf {
-		if b != 0 {
+	for _, w := range buf {
+		if w != 0 {
 			t.Fatal("unwritten page not zero-filled")
 		}
 	}
@@ -136,11 +169,10 @@ func TestBlockReadCoalescesPerDisk(t *testing.T) {
 	c, fs := newFS()
 	f, _ := fs.Create("f", 64)
 	nd := fs.Params().NumDisks
-	ps := fs.Params().PageSize
-	buf := make([]byte, ps)
+	buf := make([]uint64, fs.Params().PageSize/8)
 	// Read 2×NumDisks contiguous pages: each disk should see exactly one
 	// request of two pages.
-	f.Read(0, int64(2*nd), disk.PrefetchRead, func(int64) []byte { return buf }, nil, nil, nil)
+	f.Read(0, int64(2*nd), disk.PrefetchRead, func(int64) []uint64 { return buf }, nil, nil, nil)
 	c.Drain()
 	for i, d := range fs.Disks() {
 		s := d.Stats()
@@ -164,10 +196,10 @@ func TestStripingParallelism(t *testing.T) {
 		c := sim.NewClock()
 		fs := New(c, pp, nil)
 		f, _ := fs.Create("f", 64)
-		buf := make([]byte, pp.PageSize)
+		buf := make([]uint64, pp.PageSize/8)
 		// n independent one-page reads, as a stream of prefetches would be.
 		for i := int64(0); i < n; i++ {
-			f.Read(i, 1, disk.FaultRead, func(int64) []byte { return buf }, nil, nil, nil)
+			f.Read(i, 1, disk.FaultRead, func(int64) []uint64 { return buf }, nil, nil, nil)
 		}
 		c.Drain()
 		return c.Now()
@@ -182,8 +214,7 @@ func TestStripingParallelism(t *testing.T) {
 func TestWritePersists(t *testing.T) {
 	c, fs := newFS()
 	f, _ := fs.Create("f", 4)
-	ps := fs.Params().PageSize
-	src := bytes.Repeat([]byte{0xAB}, int(ps))
+	src := fillWords(fs.Params().PageSize/8, 0xAB)
 	done := false
 	f.Write(3, src, func() { done = true })
 	// Source can be reused immediately: the write captured a copy.
@@ -210,7 +241,7 @@ func TestOutOfRangePanics(t *testing.T) {
 		func() { f.SetPage(4, nil) },
 		func() { f.SetPage(-1, nil) },
 		func() { f.Read(3, 2, disk.FaultRead, nil, nil, nil, nil) },
-		func() { f.Write(99, make([]byte, fs.Params().PageSize), nil) },
+		func() { f.Write(99, make([]uint64, fs.Params().PageSize/8), nil) },
 	} {
 		func() {
 			defer func() {
@@ -224,21 +255,21 @@ func TestOutOfRangePanics(t *testing.T) {
 }
 
 // Property: a write followed by a read of the same page returns exactly
-// the written bytes, for arbitrary page indices and contents.
+// the written words, for arbitrary page indices and contents.
 func TestWriteReadRoundTripProperty(t *testing.T) {
 	p := hw.Scaled(8 << 20)
-	f := func(pageSel uint8, fill byte) bool {
+	f := func(pageSel uint8, fill uint64) bool {
 		c := sim.NewClock()
 		fs := New(c, p, nil)
 		file, _ := fs.Create("f", 32)
 		page := int64(pageSel % 32)
-		src := bytes.Repeat([]byte{fill}, int(p.PageSize))
+		src := fillWords(p.PageSize/8, fill)
 		file.Write(page, src, nil)
 		c.Drain()
-		got := make([]byte, p.PageSize)
-		file.Read(page, 1, disk.FaultRead, func(int64) []byte { return got }, nil, nil, nil)
+		got := make([]uint64, p.PageSize/8)
+		file.Read(page, 1, disk.FaultRead, func(int64) []uint64 { return got }, nil, nil, nil)
 		c.Drain()
-		return bytes.Equal(got, src)
+		return slices.Equal(got, src)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)

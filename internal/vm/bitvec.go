@@ -1,5 +1,7 @@
 package vm
 
+import "math/bits"
+
 // BitVector is the single physical page the OS shares with a registered
 // application (§2.4 of the paper). Each bit summarizes the residency of
 // one or more contiguous virtual pages: set means "believed in memory".
@@ -55,4 +57,65 @@ func (b *BitVector) Clear(page int64) {
 func (b *BitVector) Get(page int64) bool {
 	i := page / b.pagesPerBit
 	return b.bits[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// NextClear returns the first page in [page, end) whose covering bit is
+// clear, or end if every bit covering the range is set. It scans a word
+// of the vector at a time, so a filter over a long resident run costs
+// one memory read per 64 bits instead of one Get per page. With more
+// than one page per bit it returns the first page ≥ page covered by the
+// clear bit, clamped into [page, end) — the same conservative answer a
+// per-page Get loop would produce.
+func (b *BitVector) NextClear(page, end int64) int64 {
+	if page >= end {
+		return end
+	}
+	i := page / b.pagesPerBit
+	iEnd := (end-1)/b.pagesPerBit + 1 // first bit not covering the range
+	w := i >> 6
+	cur := ^b.bits[w] &^ (1<<uint(i&63) - 1) // clear bits at or above i
+	for {
+		if cur != 0 {
+			bit := w<<6 + int64(bits.TrailingZeros64(cur))
+			if bit >= iEnd {
+				return end
+			}
+			p := bit * b.pagesPerBit
+			if p < page {
+				p = page
+			}
+			if p >= end {
+				return end
+			}
+			return p
+		}
+		w++
+		if w<<6 >= iEnd {
+			return end
+		}
+		cur = ^b.bits[w]
+	}
+}
+
+// SetRange sets the bits covering pages [page, page+n), whole words at a
+// time. It matches a Set-per-page loop exactly, including the shared
+// partial bits at either end when a bit covers several pages.
+func (b *BitVector) SetRange(page, n int64) {
+	if n <= 0 {
+		return
+	}
+	i := page / b.pagesPerBit
+	j := (page + n - 1) / b.pagesPerBit // last bit covering the range
+	wi, wj := i>>6, j>>6
+	lo := ^uint64(0) << uint(i&63)
+	hi := ^uint64(0) >> uint(63-j&63)
+	if wi == wj {
+		b.bits[wi] |= lo & hi
+		return
+	}
+	b.bits[wi] |= lo
+	for w := wi + 1; w < wj; w++ {
+		b.bits[w] = ^uint64(0)
+	}
+	b.bits[wj] |= hi
 }

@@ -1,7 +1,6 @@
 package vm
 
 import (
-	"encoding/binary"
 	"math"
 
 	"repro/internal/disk"
@@ -9,16 +8,16 @@ import (
 
 // Load reads the 8-byte word at addr, faulting the page in if necessary.
 // This is the application's view of memory: a plain load against unlimited
-// virtual memory.
+// virtual memory. Frames store words natively, so a resident hit is one
+// page-table check and one indexed read — no byte decoding.
 func (v *VM) Load(addr int64) uint64 {
 	page := addr >> v.pageShift
 	e := &v.pt[page]
-	if e.state != resident || !e.touched {
+	if e.state != hot {
 		v.touchSlow(page)
 	}
 	e.referenced = true
-	off := addr & v.pageMask
-	return binary.LittleEndian.Uint64(v.frameData(e.frame)[off:])
+	return v.words[int64(e.frame)<<v.wordShift+(addr&v.pageMask)>>3]
 }
 
 // Store writes the 8-byte word at addr, faulting the page in if necessary
@@ -26,13 +25,12 @@ func (v *VM) Load(addr int64) uint64 {
 func (v *VM) Store(addr int64, word uint64) {
 	page := addr >> v.pageShift
 	e := &v.pt[page]
-	if e.state != resident || !e.touched {
+	if e.state != hot {
 		v.touchSlow(page)
 	}
 	e.referenced = true
 	e.dirty = true
-	off := addr & v.pageMask
-	binary.LittleEndian.PutUint64(v.frameData(e.frame)[off:], word)
+	v.words[int64(e.frame)<<v.wordShift+(addr&v.pageMask)>>3] = word
 }
 
 // LoadF64 reads a float64 at addr.
@@ -49,7 +47,10 @@ func (v *VM) StoreI64(addr int64, val int64) { v.Store(addr, uint64(val)) }
 
 // Resident reports whether a page is currently mapped and usable without
 // a stall (used by tests and the warm-start path).
-func (v *VM) Resident(page int64) bool { return v.pt[page].state == resident }
+func (v *VM) Resident(page int64) bool {
+	s := v.pt[page].state
+	return s == resident || s == hot
+}
 
 // touchSlow handles every access that is not a hot hit: first touches of
 // a new residency (classification), reclaim (minor) faults, stalls on
@@ -69,6 +70,7 @@ func (v *VM) touchSlow(page int64) {
 			e.prefetched = false
 		}
 		e.touched = true
+		e.state = hot
 		return
 	}
 
@@ -124,14 +126,14 @@ func (v *VM) touchSlow(page int64) {
 			v.inTransitCount++
 			v.bitvec.Set(page)
 			v.file.Read(page, 1, disk.FaultRead,
-				func(int64) []byte { return v.frameData(f) },
-				func(p int64) { v.finishRead(p) },
+				v.dstFn, v.arrivedFn,
 				nil, // demand reads never fail permanently (stripefs requeues)
 				nil)
 			v.waitIdle("stall", func() bool { return e.state != inTransit })
 		}
 	}
 	e.touched = true
+	e.state = hot
 	e.referenced = true
 	v.bitvec.Set(page)
 }

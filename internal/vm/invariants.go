@@ -49,12 +49,39 @@ func (v *VM) CheckInvariants() error {
 		if e.state == freeListed && !v.frames[e.frame].onFree {
 			return fmt.Errorf("vm: freeListed page %d's frame not on free queue", p)
 		}
-		if e.state == resident && v.frames[e.frame].onFree {
+		if (e.state == resident || e.state == hot) && v.frames[e.frame].onFree {
 			return fmt.Errorf("vm: resident page %d's frame on free queue", p)
+		}
+		if e.state == hot && !e.touched {
+			return fmt.Errorf("vm: hot page %d not marked touched", p)
+		}
+		if e.state == resident && e.touched {
+			return fmt.Errorf("vm: touched page %d left in plain resident state", p)
 		}
 	}
 	if transitPages != v.inTransitCount {
 		return fmt.Errorf("vm: inTransitCount=%d but %d pages in transit", v.inTransitCount, transitPages)
+	}
+
+	// Residency bit-vector consistency, checkable only at exact (one page
+	// per bit) granularity: a set bit must cover a mapped page. Every
+	// transition to unmapped (frame reuse, dropped hint, abandoned
+	// prefetch) clears the page's bit, and the run-time layer sets bits
+	// only for pages it hands to the OS in the same call — which maps or
+	// drops (re-clearing) each one before returning. The scan walks runs
+	// of set bits via NextClear, so fully released spaces cost one word
+	// read per 64 pages.
+	if v.bitvec.PagesPerBit() == 1 {
+		total := v.file.Pages()
+		for p := int64(0); p < total; {
+			q := v.bitvec.NextClear(p, total)
+			for ; p < q; p++ {
+				if v.pt[p].state == unmapped {
+					return fmt.Errorf("vm: unmapped page %d has its residency bit set", p)
+				}
+			}
+			p = q + 1
+		}
 	}
 	return nil
 }

@@ -13,7 +13,7 @@ func (v *VM) kickDaemon() {
 		return
 	}
 	v.daemonScheduled = true
-	v.clock.Schedule(daemonDelay, v.daemonRun)
+	v.clock.Schedule(daemonDelay, v.daemonRunFn)
 }
 
 // daemonRun is one activation of the pageout daemon: sweep the clock hand,
@@ -49,7 +49,7 @@ func (v *VM) evictOne() {
 		return
 	}
 	e := &v.pt[fi.vpage]
-	if e.state != resident || e.cleaning {
+	if (e.state != resident && e.state != hot) || e.cleaning {
 		return
 	}
 	if e.referenced {
@@ -103,7 +103,7 @@ func (v *VM) startClean(page int64, toFree, front bool) {
 	e.front = front
 	v.cleaningCount++
 	v.n.writebacks++
-	v.file.Write(page, v.frameData(e.frame), func() {
+	v.file.Write(page, v.frameWords(e.frame), func() {
 		v.cleaningCount--
 		v.ioGen++
 		e.cleaning = false
@@ -130,7 +130,7 @@ func (v *VM) Finish() {
 	v.flushUser()
 	for p := int64(0); p < v.allocPages; p++ {
 		e := &v.pt[p]
-		if e.dirty && e.state == resident && !e.cleaning {
+		if e.dirty && (e.state == resident || e.state == hot) && !e.cleaning {
 			v.startClean(p, false, false)
 		}
 	}

@@ -1,9 +1,6 @@
 package vm
 
-import (
-	"encoding/binary"
-	"math"
-)
+import "math"
 
 // Peek reads the 8-byte word at addr without simulated cost, page faults,
 // or statistics. It is instrumentation: result validation and workload
@@ -12,14 +9,14 @@ import (
 // the backing file.
 func (v *VM) Peek(addr int64) uint64 {
 	page := addr >> v.pageShift
-	off := addr & v.pageMask
+	word := (addr & v.pageMask) >> 3
 	e := &v.pt[page]
 	switch e.state {
-	case resident, freeListed:
-		return binary.LittleEndian.Uint64(v.frameData(e.frame)[off:])
+	case resident, hot, freeListed:
+		return v.words[int64(e.frame)*v.pageWords+word]
 	default:
 		if src := v.file.PeekPage(page); src != nil {
-			return binary.LittleEndian.Uint64(src[off:])
+			return src[word]
 		}
 		return 0
 	}

@@ -34,36 +34,35 @@ func (v *VM) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
 	}
 
 	// Issue prefetch reads, coalescing contiguous runs so a block
-	// prefetch becomes at most one request per disk. The abandonment
-	// callback exists only under fault injection — a fault-free read
-	// never fails, and the closure would cost an allocation per flush.
-	var abandoned func(int64)
-	if v.flt != nil {
-		abandoned = func(p int64) { v.abandonPrefetch(p) }
-	}
+	// prefetch becomes at most one request per disk. The callbacks are
+	// the construction-time bound methods, so the whole hint path runs
+	// without allocating.
 	runStart := int64(-1)
-	flush := func(end int64) {
-		if runStart < 0 {
-			return
-		}
-		start := runStart
-		runStart = -1
-		v.file.Read(start, end-start, disk.PrefetchRead,
-			func(p int64) []byte { return v.frameData(v.pt[p].frame) },
-			func(p int64) { v.finishRead(p) },
-			abandoned,
-			nil)
-	}
 	for p := pfPage; p < pfPage+pfN; p++ {
 		if v.prefetchOne(p) {
 			if runStart < 0 {
 				runStart = p
 			}
-		} else {
-			flush(p)
+		} else if runStart >= 0 {
+			v.issueRun(runStart, p)
+			runStart = -1
 		}
 	}
-	flush(pfPage + pfN)
+	if runStart >= 0 {
+		v.issueRun(runStart, pfPage+pfN)
+	}
+}
+
+// issueRun starts one coalesced prefetch read of pages [start, end). The
+// abandonment callback is passed only under fault injection — a
+// fault-free read never fails, and stripefs skips its degradation
+// machinery entirely when no injector is attached.
+func (v *VM) issueRun(start, end int64) {
+	failed := v.abandonFn
+	if v.flt == nil {
+		failed = nil
+	}
+	v.file.Read(start, end-start, disk.PrefetchRead, v.dstFn, v.arrivedFn, failed, nil)
 }
 
 // Prefetch is the prefetch-only form of the system call.
@@ -87,7 +86,7 @@ func (v *VM) checkRange(page, n int64) {
 func (v *VM) prefetchOne(p int64) bool {
 	e := &v.pt[p]
 	switch e.state {
-	case resident:
+	case resident, hot:
 		if e.cleaning && e.toFree && !e.front {
 			e.toFree = false // cancel a pending daemon eviction
 		}
@@ -185,7 +184,7 @@ func (v *VM) releaseOne(p int64) {
 	e := &v.pt[p]
 	v.n.releasedPages++
 	v.bitvec.Clear(p)
-	if e.state != resident {
+	if e.state != resident && e.state != hot {
 		return // absent, in flight, or already free-listed: nothing to do
 	}
 	e.referenced = false
@@ -222,7 +221,7 @@ func (v *VM) Preload(page, n int64) int64 {
 		if !ok {
 			break
 		}
-		buf := v.frameData(f)
+		buf := v.frameWords(f)
 		if src := v.file.PeekPage(p); src != nil {
 			copy(buf, src)
 		} else {
@@ -231,7 +230,7 @@ func (v *VM) Preload(page, n int64) int64 {
 			}
 		}
 		e.frame = f
-		e.state = resident
+		e.state = hot
 		e.touched = true
 		e.referenced = true
 		v.bitvec.Set(p)

@@ -29,11 +29,20 @@ const (
 	unmapped pageState = iota
 	// inTransit: a disk read (fault or prefetch) is in flight.
 	inTransit
-	// resident: mapped to a frame holding valid data.
+	// resident: mapped to a frame holding valid data, but not yet
+	// accessed this residency — the first touch still classifies the
+	// page (prefetched hit or fault) before it becomes hot.
 	resident
 	// freeListed: still mapped and holding valid data, but on the free
 	// list — reclaimable at any moment, rescuable by a touch or prefetch.
 	freeListed
+	// hot: resident and already touched. A separate state, redundant
+	// with resident+touched, so that Load/Store decide "no kernel work
+	// needed" with a single byte compare — the hottest branch in the
+	// simulator. Invariant: state == hot ⇔ state ∈ {resident, hot} ∧
+	// touched; everywhere outside Load/Store treats hot exactly like
+	// resident.
+	hot
 )
 
 // pte is a page-table entry. The classification flags implement the
@@ -64,10 +73,12 @@ type VM struct {
 
 	pageShift uint
 	pageMask  int64
+	pageWords int64 // PageSize / 8
+	wordShift uint  // pageShift - 3: frame index → word index
 
 	pt     []pte
 	frames []frameInfo
-	data   []byte // frame storage, p.Frames() × PageSize
+	words  []uint64 // frame storage, p.Frames() × PageSize/8 words
 
 	// Free queue: a growable ring buffer of frame indices. Entries whose
 	// frame has onFree == false are stale and skipped on pop (lazy
@@ -103,6 +114,14 @@ type VM struct {
 	// Fault plane (nil injects nothing): synthetic memory-pressure spikes
 	// that drop otherwise-acceptable prefetch hints.
 	flt *fault.Injector
+
+	// I/O callbacks bound once at construction so the hint and fault
+	// paths hand stripefs the same three method values on every read —
+	// a fresh closure per request would allocate.
+	dstFn       func(page int64) []uint64
+	arrivedFn   func(page int64)
+	abandonFn   func(page int64)
+	daemonRunFn func()
 
 	// Hot-path accounting (plain fields; see tally in stats.go), the
 	// registry handles it publishes to, and trace tracks. The tracks are
@@ -145,11 +164,17 @@ func NewObserved(clock *sim.Clock, p hw.Params, file *stripefs.File, o *obs.RunO
 		file:      file,
 		pageShift: uint(bits.TrailingZeros64(uint64(p.PageSize))),
 		pageMask:  p.PageSize - 1,
+		pageWords: p.PageSize / 8,
+		wordShift: uint(bits.TrailingZeros64(uint64(p.PageSize))) - 3,
 		pt:        make([]pte, file.Pages()),
 		frames:    make([]frameInfo, nf),
-		data:      make([]byte, nf*p.PageSize),
+		words:     make([]uint64, nf*(p.PageSize/8)),
 		freeQ:     make([]int32, nf+1),
 	}
+	v.dstFn = v.framePageWords
+	v.arrivedFn = v.finishRead
+	v.abandonFn = v.abandonPrefetch
+	v.daemonRunFn = v.daemonRun
 	for i := range v.pt {
 		v.pt[i].frame = -1
 	}
@@ -245,6 +270,14 @@ func (v *VM) AddUserOps(n int64) { v.pendingUserOps += n }
 // AddUserTime charges explicit user-mode time (used by the run-time layer
 // for its bit-vector checks).
 func (v *VM) AddUserTime(t sim.Time) { v.pendingUserOps += int64(t) / int64(v.p.OpTime) }
+
+// AddUserTimeN charges n repetitions of a fixed user-mode cost in one
+// call. The per-repetition truncation matches n separate AddUserTime
+// calls bit for bit, so batched callers stay on the same simulated
+// clock as the loop they replaced.
+func (v *VM) AddUserTimeN(t sim.Time, n int64) {
+	v.pendingUserOps += n * (int64(t) / int64(v.p.OpTime))
+}
 
 // flushUser converts pending user ops into simulated time. Every kernel
 // entry calls it first so that event ordering is correct.
@@ -363,10 +396,19 @@ func (v *VM) rescueFromFree(f int32) {
 	v.freeCount--
 }
 
-// frameData returns the storage of frame f.
-func (v *VM) frameData(f int32) []byte {
-	off := int64(f) * v.p.PageSize
-	return v.data[off : off+v.p.PageSize]
+// frameWords returns the storage of frame f as 8-byte words.
+func (v *VM) frameWords(f int32) []uint64 {
+	off := int64(f) * v.pageWords
+	return v.words[off : off+v.pageWords]
+}
+
+// framePageWords returns the frame storage currently backing a virtual
+// page. It is the dst callback handed to stripefs reads: while a read
+// is in flight the page's mapping cannot change (only resident pages
+// are evicted), so the lookup at delivery time finds the frame the
+// read was issued for.
+func (v *VM) framePageWords(page int64) []uint64 {
+	return v.frameWords(v.pt[page].frame)
 }
 
 // ---- frame allocation ---------------------------------------------------
