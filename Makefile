@@ -4,20 +4,22 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
 # The benchmark gate covers the observability substrate, the VM hot
-# paths (per-element and page-run), and one end-to-end kernel host-time
-# figure — regressions here mean the tracer/registry layer or the
-# executor fast path leaked cost into every simulated event.
-BENCH_PKGS = ./internal/obs ./internal/vm ./internal/bench
+# paths (per-element and page-run), the storage backends' fault-free
+# service cycle, and one end-to-end kernel host-time figure —
+# regressions here mean the tracer/registry layer, a device engine, or
+# the executor fast path leaked cost into every simulated event.
+BENCH_PKGS = ./internal/obs ./internal/vm ./internal/disk ./internal/bench
 # -count 3 with benchdiff keeping each benchmark's fastest run damps
 # allocator and scheduler noise enough for a 15% gate.
 BENCH_FLAGS = -bench=. -benchmem -benchtime 200ms -count 3 -run '^$$'
 
-.PHONY: ci fmt-check vet staticcheck build test race fuzz test-faults test-fastpath bench bench-check bench-baseline
+.PHONY: ci fmt-check vet staticcheck build test race fuzz test-faults test-fastpath test-backends bench bench-check bench-baseline
 
 # ci is the gate: formatting, static checks, build, tests, the
-# race-detector pass over the concurrent experiment runner, and a
-# short-budget fuzz of the fault plane.
-ci: fmt-check vet staticcheck build test race fuzz
+# race-detector pass over the concurrent experiment runner, a
+# short-budget fuzz of the fault plane, and the storage-backend
+# conformance and cross-tier equivalence suite.
+ci: fmt-check vet staticcheck build test race fuzz test-backends
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -64,6 +66,15 @@ fuzz:
 # every layer's fault-path tests.
 test-faults:
 	$(GO) test ./internal/fault/... ./internal/disk ./internal/stripefs ./internal/vm ./internal/rt
+
+# test-backends runs the storage-backend suite: the per-tier conformance
+# contract (delivery, faults, stats, zero-alloc fast path), the tier
+# parameter/spec plumbing, and the cross-tier property that every NAS
+# proxy fingerprints identically on disks, NVMe, and far memory.
+test-backends:
+	$(GO) test ./internal/disk -run 'TestConformance|TestNVMe|TestFarMemory|TestNewBackend'
+	$(GO) test ./internal/hw ./internal/core -run 'Tier|Backend'
+	$(GO) test ./internal/fault/harness/ -run 'TestNASBackendsByteIdentical|TestBackendsFaultedByteIdentical'
 
 # test-fastpath runs the executor fast-path differential property: every
 # NAS proxy and example kernel must be tick-identical with page-run

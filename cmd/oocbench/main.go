@@ -5,7 +5,7 @@
 //	oocbench [-exp all|table1|table2|fig3|fig4|fig5|table3|fig6|fig7|fig8|ablate]
 //	         [-scale F] [-ratio F] [-mem MB]
 //	         [-parallel N] [-timeout D] [-progress]
-//	         [-faults SPEC] [-trace FILE] [-metrics FILE]
+//	         [-backend SPEC] [-faults SPEC] [-trace FILE] [-metrics FILE]
 //
 // -scale multiplies every application's problem size (1 = standard);
 // -ratio overrides the data:memory ratio (0 = each app's standard);
@@ -17,6 +17,14 @@
 // are collected by index, so parallel output is byte-identical to a
 // serial run; Ctrl-C cancels in-flight runs cleanly. Sub-figure names
 // (fig3a, fig4b, ...) are accepted as aliases for their figure.
+//
+// -backend runs every NAS suite run on the named storage tier instead
+// of the paper's striped-disk array. The spec is a tier name ("nvme",
+// "farmem") or "key=value" pairs ("tier=farmem,rtt=40us,batch=32",
+// "disk,disks=4,sched=elevator"). Hints are non-binding and backends
+// only change timing, so the figures' results are identical — the
+// speedups are not. Like -faults, combining -backend with an experiment
+// that runs no suite is a usage error.
 //
 // -faults injects a deterministic fault profile into every NAS suite
 // run (the fig3/fig4/fig5/table3 experiments): transient disk errors,
@@ -58,6 +66,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
 	progress := flag.Bool("progress", false, "report per-run progress on stderr")
+	backendSpec := flag.String("backend", "", `storage backend for suite runs ("nvme", "tier=farmem,rtt=40us", ...)`)
 	faultSpec := flag.String("faults", "", `fault profile for suite runs ("brownout", "profile=chaos,seed=7", ...)`)
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	metricsPath := flag.String("metrics", "", "write a flat JSON metrics snapshot to this file")
@@ -141,6 +150,18 @@ func main() {
 		return false
 	}
 
+	var backend *oocp.BackendSpec
+	if *backendSpec != "" {
+		spec, err := oocp.ParseBackendSpec(*backendSpec)
+		if err != nil {
+			usage("%v", err)
+		}
+		if !needSuite() {
+			usage("-backend applies to the NAS suite experiments (all, fig3, fig4, fig5, table3), not -exp %s", *exp)
+		}
+		backend = &spec
+	}
+
 	var faults *oocp.FaultProfile
 	if *faultSpec != "" {
 		prof, err := oocp.ParseFaultSpec(*faultSpec)
@@ -173,6 +194,7 @@ func main() {
 			Trace:       trace,
 			Metrics:     metrics,
 			Faults:      faults,
+			Backend:     backend,
 		})
 		fail(err)
 		fmt.Fprintln(w)

@@ -79,6 +79,10 @@ type RunOptions struct {
 	// profile into every variant run (core.Config.Faults). Results are
 	// unchanged by construction; timing and fault counters are not.
 	Faults *fault.Profile
+	// Backend, if non-nil, runs every variant on the spec's storage tier
+	// (core.Config.Backend). Results are identical across tiers by
+	// construction; timing is not.
+	Backend *core.BackendSpec
 }
 
 // SuiteOptions configure a whole-suite run.
@@ -107,6 +111,9 @@ type SuiteOptions struct {
 	// Faults, if non-nil and enabled, injects the deterministic fault
 	// profile into every run of the suite.
 	Faults *fault.Profile
+	// Backend, if non-nil, runs the whole suite on the spec's storage
+	// tier (core.Config.Backend).
+	Backend *core.BackendSpec
 }
 
 func (o SuiteOptions) runner() *Runner {
@@ -133,6 +140,20 @@ func withFaults(mutate func(*core.Config), prof *fault.Profile) func(*core.Confi
 			mutate(c)
 		}
 		c.Faults = prof
+	}
+}
+
+// withBackend composes a config mutator with a backend spec, applied
+// after the caller's mutator like withFaults.
+func withBackend(mutate func(*core.Config), spec *core.BackendSpec) func(*core.Config) {
+	if spec == nil {
+		return mutate
+	}
+	return func(c *core.Config) {
+		if mutate != nil {
+			mutate(c)
+		}
+		c.Backend = spec
 	}
 }
 
@@ -228,7 +249,7 @@ func RunAppContext(ctx context.Context, app *nas.App, opts RunOptions) (*AppResu
 	if ratio <= 0 {
 		ratio = app.Ratio()
 	}
-	mutate := withFaults(opts.ConfigMutator, opts.Faults)
+	mutate := withBackend(withFaults(opts.ConfigMutator, opts.Faults), opts.Backend)
 	cfg, data, err := appConfig(app, scale, ratio, mutate)
 	if err != nil {
 		return nil, err
@@ -269,7 +290,7 @@ func RunSuiteContext(ctx context.Context, opts SuiteOptions) ([]*AppResult, erro
 	apps := nas.Apps()
 	results := make([]*AppResult, len(apps))
 	snk := sinks{trace: opts.Trace, metrics: opts.Metrics}
-	mutate := withFaults(opts.ConfigMutator, opts.Faults)
+	mutate := withBackend(withFaults(opts.ConfigMutator, opts.Faults), opts.Backend)
 	var jobs []Job
 	for i, app := range apps {
 		ratio := opts.Ratio

@@ -61,9 +61,20 @@ type Config struct {
 	// Seed pre-initializes input files; nil if the program needs none.
 	Seed func(prog *ir.Program, file *stripefs.File, pageSize int64)
 
+	// Backend, if non-nil, selects the storage backend: it rebuilds
+	// Machine's storage subsystem for the spec's tier (striped disks,
+	// NVMe, far memory) with the spec's overrides, keeping Machine's
+	// memory system and CPU model. Use ParseBackendSpec for the CLI
+	// syntax. Nil runs on Machine's own tier (the paper's disks for
+	// hw.Default()).
+	Backend *BackendSpec
+
 	// Elevator selects SCAN disk scheduling instead of the default FCFS
 	// (the paper's disk scheduler treats prefetches like demand reads
 	// under FCFS; the elevator is available for ablations).
+	//
+	// Deprecated: set Backend with Sched: "elevator" instead. Elevator is
+	// honored only when Backend is nil or leaves Sched empty.
 	Elevator bool
 
 	// SamplePeriod, if positive, records a timeline of memory-manager
@@ -176,6 +187,13 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 	if machine.PageSize == 0 {
 		machine = hw.Default()
 	}
+	if cfg.Backend != nil {
+		m, err := cfg.Backend.Apply(machine)
+		if err != nil {
+			return nil, err
+		}
+		machine = m
+	}
 	if err := machine.Validate(); err != nil {
 		return nil, err
 	}
@@ -211,8 +229,12 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 			}
 		}()
 	}
+	elevator := cfg.Elevator && (cfg.Backend == nil || cfg.Backend.Sched == "")
+	if cfg.Backend.Elevator() {
+		elevator = true
+	}
 	var mkSched func() disk.Scheduler
-	if cfg.Elevator {
+	if elevator {
 		mkSched = func() disk.Scheduler { return &disk.Elevator{} }
 	}
 	reg := cfg.Metrics
@@ -263,7 +285,7 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 
 	clock.DeadlockInfo = func() string {
 		out := ""
-		for i, d := range fs.Disks() {
+		for i, d := range fs.Backends() {
 			out += fmt.Sprintf("disk %d: busy=%v queue=%d\n", i, d.Busy(), d.QueueLen())
 		}
 		return out
@@ -294,11 +316,11 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		r.Timeline = smp.stop()
 	}
 	var util float64
-	for _, d := range fs.Disks() {
+	for _, d := range fs.Backends() {
 		r.DiskStats = append(r.DiskStats, d.Stats())
 		util += d.Utilization(elapsed)
 	}
-	r.DiskUtil = util / float64(len(fs.Disks()))
+	r.DiskUtil = util / float64(len(fs.Backends()))
 
 	// End-of-run summary metrics: derived values the counters alone do
 	// not carry.

@@ -1,0 +1,203 @@
+// Storage backends. The paper's platform is an array of rotating disks,
+// but the prefetching question it studies — when do compiler-inserted
+// hints pay for themselves? — re-appears on every storage tier down to
+// far memory reached over a network (3PO). The Backend interface is the
+// device contract the striped file system programs against; each tier
+// supplies its own implementation with its own CostModel, and the layers
+// above (stripefs, vm, fault injection) are tier-oblivious.
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Backend is one simulated storage device: a request queue serviced on
+// the simulated clock under a tier-specific cost model. The striped file
+// system holds an array of Backends and stripes file pages across them;
+// everything above the interface is tier-oblivious.
+//
+// The contract every implementation must honor (enforced by the
+// conformance suite in conformance_test.go):
+//
+//   - Delivery: every submitted request resolves through exactly one of
+//     Done or Failed, signalled on the simulated clock, never
+//     re-entrantly from Submit.
+//   - Faults: with an Injector attached, each service attempt consults
+//     fault.Injector.Attempt keyed by the device ID; transient failures
+//     retry under the injector's RetryPolicy, and only an exhausted
+//     policy reaches Failed. A nil Failed means the request must not
+//     fail: the device keeps retrying until the attempt succeeds.
+//     Without an injector no request ever fails.
+//   - Stats: Requests/Pages/BusyTime are monotonically non-decreasing
+//     and published to the metrics registry on every Stats/Utilization
+//     read.
+//   - Allocation: the fault-free steady-state submit/service path
+//     allocates nothing.
+//
+// Timing models differ per tier; data movement does not. Backends only
+// decide when completions fire, so a program's results are identical
+// across tiers by construction — a property the fault harness checks
+// end to end.
+type Backend interface {
+	// ID returns the device's index within its array.
+	ID() int
+	// Submit enqueues a request; completion is signalled via r.Done (or
+	// r.Failed) on the simulated clock.
+	Submit(r Request)
+	// Stats snapshots the device's accumulated statistics, publishing
+	// them to the metrics registry as a side effect.
+	Stats() Stats
+	// SetFaults attaches a fault injector (nil detaches) and adopts its
+	// retry policy.
+	SetFaults(inj *fault.Injector)
+	// Utilization returns the busy fraction of the elapsed simulated
+	// time, publishing statistics like Stats does.
+	Utilization(elapsed sim.Time) float64
+	// QueueLen returns the number of requests waiting (not counting
+	// those in service). The OS consults it to drop prefetch hints when
+	// the device is overloaded.
+	QueueLen() int
+	// Busy reports whether the device is currently servicing a request.
+	Busy() bool
+	// Model returns the device's cost model.
+	Model() CostModel
+}
+
+// CostModel is a device's service-time model. It owns whatever
+// positional state the tier needs (a disk arm's cylinder, nothing for
+// flat-latency devices) and replaces the seek/rotation arithmetic that
+// used to be hard-coded in Disk.ServiceTime.
+type CostModel interface {
+	// Name identifies the model ("disk", "nvme", "farmem").
+	Name() string
+	// ServiceTime returns the time to service r given the device's
+	// queue depth at dispatch (waiting requests, in-service excluded)
+	// and advances the model's positional state past r.
+	ServiceTime(r Request, depth int) sim.Time
+}
+
+// NewBackend builds one storage device of p's tier: a striped-array
+// disk, an NVMe-like flat-latency device, or a far-memory tier. sched is
+// honored only on the disk tier (the other tiers have no positional
+// state to schedule around and service FCFS). Counters register in reg
+// as "disk.<id>.*" whatever the tier — the array index, not the
+// technology, names the device — and serviced requests become spans on
+// track (nil disables).
+func NewBackend(clock *sim.Clock, p hw.Params, id int, sched Scheduler, reg *obs.Registry, track *obs.Track) Backend {
+	switch p.Tier {
+	case hw.TierDisk:
+		return NewObserved(clock, p, id, sched, reg, track)
+	case hw.TierNVMe:
+		return NewNVMe(clock, p, id, reg, track)
+	case hw.TierFarMemory:
+		return NewFarMemory(clock, p, id, reg, track)
+	}
+	panic(fmt.Sprintf("disk: unknown storage tier %v", p.Tier))
+}
+
+// DiskCost is the disk tier's positional service-time model: seek
+// proportional to cylinder distance, half a rotation of latency, and a
+// per-page media transfer. Its positional state is the arm's cylinder.
+type DiskCost struct {
+	p       hw.Params
+	headCyl int64
+}
+
+// NewDiskCost returns a disk cost model with the arm at cylinder 0.
+func NewDiskCost(p hw.Params) *DiskCost { return &DiskCost{p: p} }
+
+// Name implements CostModel.
+func (m *DiskCost) Name() string { return "disk" }
+
+// HeadCyl returns the arm's current cylinder (the scheduler's input).
+func (m *DiskCost) HeadCyl() int64 { return m.headCyl }
+
+// At returns the positional service time for a request starting with
+// the head at fromCyl, without moving the arm.
+func (m *DiskCost) At(fromCyl int64, r Request) sim.Time {
+	cyl := r.Block / m.p.PagesPerCyl
+	dist := cyl - fromCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	var seek sim.Time
+	if dist > 0 {
+		span := m.p.SeekMax - m.p.SeekMin
+		seek = m.p.SeekMin + sim.Time(int64(span)*dist/m.p.DiskCylinders)
+	}
+	rot := m.p.RotationTime / 2
+	xfer := sim.Time(int64(m.p.TransferPerPage) * r.Pages)
+	return seek + rot + xfer
+}
+
+// ServiceTime implements CostModel: the positional cost from the current
+// head position, leaving the arm at the request's last cylinder. Queue
+// depth does not matter to a serial arm.
+func (m *DiskCost) ServiceTime(r Request, depth int) sim.Time {
+	t := m.At(m.headCyl, r)
+	m.headCyl = (r.Block + r.Pages - 1) / m.p.PagesPerCyl
+	return t
+}
+
+// NVMeCost is the NVMe tier's service-time model: no positional state,
+// a fixed command latency that amortizes across the device's internal
+// parallelism as the queue deepens, plus a per-page media transfer.
+type NVMeCost struct {
+	p hw.Params
+}
+
+// NewNVMeCost returns the flat-latency cost model for p.
+func NewNVMeCost(p hw.Params) *NVMeCost { return &NVMeCost{p: p} }
+
+// Name implements CostModel.
+func (m *NVMeCost) Name() string { return "nvme" }
+
+// ServiceTime implements CostModel. A deeper queue lets the device
+// overlap command handling across its internal channels, so the
+// effective per-command latency shrinks with depth (down to
+// latency/parallelism); the media transfer does not amortize.
+func (m *NVMeCost) ServiceTime(r Request, depth int) sim.Time {
+	par := depth + 1 // the request itself counts
+	if par > m.p.NVMeParallelism {
+		par = m.p.NVMeParallelism
+	}
+	if par < 1 {
+		par = 1
+	}
+	return m.p.NVMeLatency/sim.Time(par) + sim.Time(int64(m.p.NVMeTransferPerPage)*r.Pages)
+}
+
+// FarMemCost is the far-memory tier's service-time model: every fetch
+// batch is one network round trip carrying one or more coalesced wire
+// requests. For a single request the cost is the full round trip plus
+// one header plus the wire transfer; the FarMemory device amortizes the
+// round trip by batching queued requests (BatchTime).
+type FarMemCost struct {
+	p hw.Params
+}
+
+// NewFarMemCost returns the network cost model for p.
+func NewFarMemCost(p hw.Params) *FarMemCost { return &FarMemCost{p: p} }
+
+// Name implements CostModel.
+func (m *FarMemCost) Name() string { return "farmem" }
+
+// ServiceTime implements CostModel: one round trip carrying one wire
+// request. Queue depth does not change a single request's cost — the
+// device amortizes depth through batching instead.
+func (m *FarMemCost) ServiceTime(r Request, depth int) sim.Time {
+	return m.p.NetRTT + m.p.NetPerRequest + sim.Time(int64(m.p.NetTransferPerPage)*r.Pages)
+}
+
+// BatchTime returns the cost of one round trip carrying wireReqs
+// coalesced requests moving pages pages in total.
+func (m *FarMemCost) BatchTime(wireReqs int, pages int64) sim.Time {
+	return m.p.NetRTT +
+		sim.Time(int64(m.p.NetPerRequest)*int64(wireReqs)) +
+		sim.Time(int64(m.p.NetTransferPerPage)*pages)
+}

@@ -179,14 +179,16 @@ func (e *Elevator) Next(queue []Request, headCyl int64, p hw.Params) int {
 // Name implements Scheduler.
 func (e *Elevator) Name() string { return "elevator" }
 
-// Disk is one simulated disk: a serial server with a queue.
+// Disk is one simulated disk: a serial server with a queue. It is the
+// disk-tier Backend; its positional service-time model lives in a
+// DiskCost.
 type Disk struct {
 	clock *sim.Clock
 	p     hw.Params
 	id    int
 	sched Scheduler
+	cost  *DiskCost
 
-	headCyl int64
 	busy    bool
 	queue   []Request
 	n       Stats
@@ -222,13 +224,17 @@ func NewObserved(clock *sim.Clock, p hw.Params, id int, sched Scheduler, reg *ob
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	d := &Disk{clock: clock, p: p, id: id, sched: sched, c: newCounters(reg, id), track: track}
+	d := &Disk{clock: clock, p: p, id: id, sched: sched, cost: NewDiskCost(p),
+		c: newCounters(reg, id), track: track}
 	d.serviceDoneFn = d.serviceDone
 	return d
 }
 
 // ID returns the disk's index within its array.
 func (d *Disk) ID() int { return d.id }
+
+// Model returns the disk's positional cost model.
+func (d *Disk) Model() CostModel { return d.cost }
 
 // SetFaults attaches a fault injector (nil detaches) and adopts its
 // retry policy. Call before submitting requests; mid-run changes would
@@ -269,21 +275,10 @@ func (d *Disk) Submit(r Request) {
 
 // ServiceTime returns the positional service time for a request starting
 // with the head at fromCyl: seek proportional to distance, half a rotation
-// of latency, and the media transfer.
+// of latency, and the media transfer. The arithmetic lives in DiskCost;
+// this form does not move the arm.
 func (d *Disk) ServiceTime(fromCyl int64, r Request) sim.Time {
-	cyl := r.Block / d.p.PagesPerCyl
-	dist := cyl - fromCyl
-	if dist < 0 {
-		dist = -dist
-	}
-	var seek sim.Time
-	if dist > 0 {
-		span := d.p.SeekMax - d.p.SeekMin
-		seek = d.p.SeekMin + sim.Time(int64(span)*dist/d.p.DiskCylinders)
-	}
-	rot := d.p.RotationTime / 2
-	xfer := sim.Time(int64(d.p.TransferPerPage) * r.Pages)
-	return seek + rot + xfer
+	return d.cost.At(fromCyl, r)
 }
 
 func (d *Disk) startNext() {
@@ -291,7 +286,7 @@ func (d *Disk) startNext() {
 		d.busy = false
 		return
 	}
-	i := d.sched.Next(d.queue, d.headCyl, d.p)
+	i := d.sched.Next(d.queue, d.cost.HeadCyl(), d.p)
 	r := d.queue[i]
 	d.queue = append(d.queue[:i], d.queue[i+1:]...)
 	d.busy = true
@@ -300,9 +295,8 @@ func (d *Disk) startNext() {
 	if d.flt == nil {
 		// Fault-free fast path: service in place so the common case pays
 		// nothing for the retry machinery (no attempt frame, no extra
-		// clock read, no verdict).
-		t := d.ServiceTime(d.headCyl, r)
-		d.headCyl = (r.Block + r.Pages - 1) / d.p.PagesPerCyl
+		// clock read, no verdict). The cost model advances the arm.
+		t := d.cost.ServiceTime(r, len(d.queue))
 		d.n.BusyTime += t
 		if d.track != nil { // guard: Kind.String is a call even when untraced
 			d.track.SpanArg(r.Kind.String(), "disk", d.clock.Now(), t, "block", r.Block)
@@ -335,12 +329,11 @@ func (d *Disk) serviceDone() {
 // attempt). Backoff delays keep the disk busy for scheduling purposes
 // but are idle time, not BusyTime.
 func (d *Disk) attempt(r Request, attempt int, started sim.Time) {
-	t := d.ServiceTime(d.headCyl, r)
+	t := d.cost.ServiceTime(r, len(d.queue))
 	v := d.flt.Attempt(d.id, r.Kind == Write, d.clock.Now())
 	if v.Slow > 1 {
 		t = sim.Time(float64(t) * v.Slow)
 	}
-	d.headCyl = (r.Block + r.Pages - 1) / d.p.PagesPerCyl
 	d.n.BusyTime += t
 	if d.track != nil { // guard: Kind.String is a call even when untraced
 		d.track.SpanArg(r.Kind.String(), "disk", d.clock.Now(), t, "block", r.Block)

@@ -1,0 +1,235 @@
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// FarMemory is the far-memory-tier Backend: remote memory reached over
+// a network, in the style of 3PO's programmed far-memory prefetching.
+// Fetches are submitted asynchronously in batches — while one round
+// trip is in flight, newly submitted requests accumulate in the queue
+// and form the next batch — so the round-trip latency amortizes across
+// up to NetBatchRequests requests. Within a batch, requests whose block
+// ranges are contiguous coalesce into a single wire request, so a block
+// prefetch costs one header, not one per page run.
+//
+// Fault injection treats the network as the device: one
+// fault.Injector.Attempt verdict per round trip (a lost or browned-out
+// link fails the whole batch), retried in place with exponential
+// backoff under the injector's policy. When the policy is exhausted,
+// requests that may fail (non-nil Failed) fail; requests that must not
+// (nil Failed — demand reads) re-enter the queue with a fresh budget.
+// Brownout windows model network partitions here.
+type FarMemory struct {
+	clock *sim.Clock
+	p     hw.Params
+	id    int
+	cost  *FarMemCost
+
+	busy    bool
+	queue   []Request
+	batch   []Request // requests in the in-flight round trip (reused)
+	n       Stats
+	c       counters
+	track   *obs.Track // round-trip spans; nil when tracing is off
+	depthHi int        // high-water queue depth, for diagnostics
+
+	roundTripDoneFn func() // bound once: fault-free completions allocate nothing
+
+	flt   *fault.Injector
+	retry fault.RetryPolicy
+}
+
+// NewFarMemory returns an idle far-memory device. Counters register in
+// reg as "disk.<id>.*" (nil gets a private registry); each round trip
+// becomes a span on track (nil disables).
+func NewFarMemory(clock *sim.Clock, p hw.Params, id int, reg *obs.Registry, track *obs.Track) *FarMemory {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	d := &FarMemory{clock: clock, p: p, id: id, cost: NewFarMemCost(p),
+		c: newCounters(reg, id), track: track}
+	d.roundTripDoneFn = d.roundTripDone
+	return d
+}
+
+// ID returns the device's index within its array.
+func (d *FarMemory) ID() int { return d.id }
+
+// Model returns the device's network cost model.
+func (d *FarMemory) Model() CostModel { return d.cost }
+
+// SetFaults attaches a fault injector (nil detaches) and adopts its
+// retry policy.
+func (d *FarMemory) SetFaults(inj *fault.Injector) {
+	d.flt = inj
+	d.retry = inj.Retry()
+}
+
+// Stats returns a snapshot of the device's accumulated statistics,
+// publishing them into the metrics registry as a side effect.
+func (d *FarMemory) Stats() Stats {
+	d.c.publish(&d.n)
+	return d.n
+}
+
+// QueueLen returns the number of requests waiting for the next round
+// trip (not counting those in flight).
+func (d *FarMemory) QueueLen() int { return len(d.queue) }
+
+// Busy reports whether a round trip is in flight.
+func (d *FarMemory) Busy() bool { return d.busy }
+
+// Submit enqueues a request. Completion is signalled by r.Done on the
+// simulated clock; all requests of one round trip complete together
+// when the batch's transfer finishes.
+func (d *FarMemory) Submit(r Request) {
+	if r.Pages <= 0 {
+		panic(fmt.Sprintf("farmem %d: request for %d pages", d.id, r.Pages))
+	}
+	d.queue = append(d.queue, r)
+	if len(d.queue) > d.depthHi {
+		d.depthHi = len(d.queue)
+	}
+	if !d.busy {
+		d.startNext()
+	}
+}
+
+// startNext forms the next batch — up to NetBatchRequests requests off
+// the queue head, FCFS — and starts its round trip.
+func (d *FarMemory) startNext() {
+	if len(d.queue) == 0 {
+		d.busy = false
+		return
+	}
+	n := len(d.queue)
+	if max := d.p.NetBatchRequests; n > max {
+		n = max
+	}
+	d.batch = append(d.batch[:0], d.queue[:n]...)
+	d.queue = d.queue[:copy(d.queue, d.queue[n:])]
+	d.busy = true
+	for i := range d.batch {
+		r := &d.batch[i]
+		d.n.Requests[r.Kind]++
+		d.n.Pages[r.Kind] += r.Pages
+	}
+	d.attemptBatch(1, d.clock.Now())
+}
+
+// batchShape returns the wire shape of the in-flight batch: the number
+// of wire requests after coalescing contiguous block ranges, and the
+// total pages moved.
+func (d *FarMemory) batchShape() (wireReqs int, pages int64) {
+	prevEnd := int64(-1)
+	for i := range d.batch {
+		r := &d.batch[i]
+		if r.Block != prevEnd {
+			wireReqs++
+		}
+		prevEnd = r.Block + r.Pages
+		pages += r.Pages
+	}
+	return wireReqs, pages
+}
+
+// attemptBatch services one round-trip attempt of the in-flight batch.
+// The whole batch shares one fault verdict — the network link, not the
+// individual request, is what fails — and retries in place with
+// backoff. Exhaustion splits the batch by degradation policy.
+func (d *FarMemory) attemptBatch(attempt int, started sim.Time) {
+	wireReqs, pages := d.batchShape()
+	t := d.cost.BatchTime(wireReqs, pages)
+	if d.flt == nil {
+		d.n.BusyTime += t
+		if d.track != nil {
+			d.track.SpanArg("round-trip", "farmem", d.clock.Now(), t, "pages", pages)
+		}
+		d.clock.Schedule(t, d.roundTripDoneFn)
+		return
+	}
+
+	write := false
+	for i := range d.batch {
+		if d.batch[i].Kind == Write {
+			write = true
+			break
+		}
+	}
+	v := d.flt.Attempt(d.id, write, d.clock.Now())
+	if v.Slow > 1 {
+		t = sim.Time(float64(t) * v.Slow)
+	}
+	d.n.BusyTime += t
+	if d.track != nil {
+		d.track.SpanArg("round-trip", "farmem", d.clock.Now(), t, "pages", pages)
+	}
+
+	if !v.Fail {
+		d.clock.Schedule(t, d.roundTripDoneFn)
+		return
+	}
+	backoff := d.retry.Backoff(attempt)
+	overBudget := d.retry.Timeout > 0 && d.clock.Now()+t+backoff-started > d.retry.Timeout
+	if attempt >= d.retry.MaxAttempts || overBudget {
+		d.clock.Schedule(t, d.batchExhausted)
+		return
+	}
+	d.n.Retries++
+	d.clock.Schedule(t+backoff, func() {
+		d.attemptBatch(attempt+1, started)
+	})
+}
+
+// roundTripDone completes every request of the in-flight batch, in
+// batch order, then starts the next round trip. The batch slice stays
+// stable during the callbacks: completions may Submit new requests, but
+// the device is still busy, so they only enqueue.
+func (d *FarMemory) roundTripDone() {
+	for i := range d.batch {
+		if done := d.batch[i].Done; done != nil {
+			done()
+		}
+	}
+	d.batch = d.batch[:0]
+	d.startNext()
+}
+
+// batchExhausted applies the degradation split after a batch's retry
+// policy ran out: requests that may fail permanently fail to their
+// Failed handler; requests that must not fail (nil Failed) re-enter the
+// queue head in order, keeping their device and getting a fresh retry
+// budget with the next batch.
+func (d *FarMemory) batchExhausted() {
+	var requeue []Request
+	for i := range d.batch {
+		r := d.batch[i]
+		if r.Failed != nil {
+			d.n.Failures++
+			r.Failed()
+		} else {
+			requeue = append(requeue, r)
+		}
+	}
+	d.batch = d.batch[:0]
+	if len(requeue) > 0 {
+		d.queue = append(requeue, d.queue...)
+	}
+	d.startNext()
+}
+
+// Utilization returns the fraction of the elapsed simulated time the
+// network link was busy, publishing statistics as Stats does.
+func (d *FarMemory) Utilization(elapsed sim.Time) float64 {
+	d.c.publish(&d.n)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(d.n.BusyTime) / float64(elapsed)
+}

@@ -1,0 +1,181 @@
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// NVMe is the flash-tier Backend: a flat-latency device with no
+// positional state. Requests service FCFS — with no arm to schedule
+// around, reordering buys nothing — under the NVMeCost model, whose
+// command latency amortizes across the device's internal parallelism as
+// the queue deepens. Fault injection, retries, and degradation follow
+// the same contract as Disk: transient failures retry in place with
+// exponential backoff under the injector's policy, and only an
+// exhausted policy reaches Failed.
+type NVMe struct {
+	clock *sim.Clock
+	p     hw.Params
+	id    int
+	cost  *NVMeCost
+
+	busy    bool
+	queue   []Request
+	n       Stats
+	c       counters
+	track   *obs.Track // service-time spans; nil when tracing is off
+	depthHi int        // high-water queue depth, for diagnostics
+
+	// Fault-free completion state, exactly as in Disk: one field holds
+	// the in-service request's Done and one construction-time bound
+	// method is scheduled per completion, so the steady state allocates
+	// nothing.
+	curDone       func()
+	serviceDoneFn func()
+
+	flt   *fault.Injector
+	retry fault.RetryPolicy
+}
+
+// NewNVMe returns an idle NVMe-tier device. Counters register in reg as
+// "disk.<id>.*" (nil gets a private registry); serviced requests become
+// spans on track (nil disables).
+func NewNVMe(clock *sim.Clock, p hw.Params, id int, reg *obs.Registry, track *obs.Track) *NVMe {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	d := &NVMe{clock: clock, p: p, id: id, cost: NewNVMeCost(p),
+		c: newCounters(reg, id), track: track}
+	d.serviceDoneFn = d.serviceDone
+	return d
+}
+
+// ID returns the device's index within its array.
+func (d *NVMe) ID() int { return d.id }
+
+// Model returns the device's flat-latency cost model.
+func (d *NVMe) Model() CostModel { return d.cost }
+
+// SetFaults attaches a fault injector (nil detaches) and adopts its
+// retry policy.
+func (d *NVMe) SetFaults(inj *fault.Injector) {
+	d.flt = inj
+	d.retry = inj.Retry()
+}
+
+// Stats returns a snapshot of the device's accumulated statistics,
+// publishing them into the metrics registry as a side effect.
+func (d *NVMe) Stats() Stats {
+	d.c.publish(&d.n)
+	return d.n
+}
+
+// QueueLen returns the number of requests waiting (not counting the one
+// in service).
+func (d *NVMe) QueueLen() int { return len(d.queue) }
+
+// Busy reports whether a request is currently being serviced.
+func (d *NVMe) Busy() bool { return d.busy }
+
+// Submit enqueues a request. Completion is signalled by r.Done on the
+// simulated clock.
+func (d *NVMe) Submit(r Request) {
+	if r.Pages <= 0 {
+		panic(fmt.Sprintf("nvme %d: request for %d pages", d.id, r.Pages))
+	}
+	d.queue = append(d.queue, r)
+	if len(d.queue) > d.depthHi {
+		d.depthHi = len(d.queue)
+	}
+	if !d.busy {
+		d.startNext()
+	}
+}
+
+func (d *NVMe) startNext() {
+	if len(d.queue) == 0 {
+		d.busy = false
+		return
+	}
+	r := d.queue[0]
+	d.queue = d.queue[:copy(d.queue, d.queue[1:])]
+	d.busy = true
+	d.n.Requests[r.Kind]++
+	d.n.Pages[r.Kind] += r.Pages
+	if d.flt == nil {
+		t := d.cost.ServiceTime(r, len(d.queue))
+		d.n.BusyTime += t
+		if d.track != nil { // guard: Kind.String is a call even when untraced
+			d.track.SpanArg(r.Kind.String(), "nvme", d.clock.Now(), t, "block", r.Block)
+		}
+		d.curDone = r.Done
+		d.clock.Schedule(t, d.serviceDoneFn)
+		return
+	}
+	d.attempt(r, 1, d.clock.Now())
+}
+
+// serviceDone completes the request in service on the fault-free path
+// and starts the next one; the callback is consumed before it runs so
+// re-entrant submissions queue behind the startNext.
+func (d *NVMe) serviceDone() {
+	done := d.curDone
+	d.curDone = nil
+	if done != nil {
+		done()
+	}
+	d.startNext()
+}
+
+// attempt services one try of a request, retrying in place with
+// exponential backoff until success or policy exhaustion, exactly as
+// the disk does.
+func (d *NVMe) attempt(r Request, attempt int, started sim.Time) {
+	t := d.cost.ServiceTime(r, len(d.queue))
+	v := d.flt.Attempt(d.id, r.Kind == Write, d.clock.Now())
+	if v.Slow > 1 {
+		t = sim.Time(float64(t) * v.Slow)
+	}
+	d.n.BusyTime += t
+	if d.track != nil {
+		d.track.SpanArg(r.Kind.String(), "nvme", d.clock.Now(), t, "block", r.Block)
+	}
+
+	if !v.Fail {
+		d.clock.Schedule(t, func() {
+			if r.Done != nil {
+				r.Done()
+			}
+			d.startNext()
+		})
+		return
+	}
+	backoff := d.retry.Backoff(attempt)
+	overBudget := d.retry.Timeout > 0 && d.clock.Now()+t+backoff-started > d.retry.Timeout
+	if r.Failed != nil && (attempt >= d.retry.MaxAttempts || overBudget) {
+		d.n.Failures++
+		d.clock.Schedule(t, func() {
+			r.Failed()
+			d.startNext()
+		})
+		return
+	}
+	d.n.Retries++
+	d.clock.Schedule(t+backoff, func() {
+		d.attempt(r, attempt+1, started)
+	})
+}
+
+// Utilization returns the fraction of the elapsed simulated time this
+// device was busy, publishing statistics as Stats does.
+func (d *NVMe) Utilization(elapsed sim.Time) float64 {
+	d.c.publish(&d.n)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(d.n.BusyTime) / float64(elapsed)
+}

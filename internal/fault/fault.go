@@ -8,20 +8,28 @@
 //
 // Everything is deterministic. Random decisions (transient errors,
 // latency spikes, prefetch drops) are drawn from seeded splitmix64
-// streams — one per disk plus one for the memory system — so a given
-// (profile, seed) always produces the same fault schedule for the same
-// request sequence. Brownouts are pure functions of simulated time, with
-// seed-staggered phase per disk. No wall-clock state is consulted
+// streams — one per storage device plus one for the memory system — so a
+// given (profile, seed) always produces the same fault schedule for the
+// same request sequence. Brownouts are pure functions of simulated time,
+// with seed-staggered phase per device. No wall-clock state is consulted
 // anywhere, so faulted runs replay exactly under sim.Clock.
 //
-// The layers consume the injector as follows: each disk asks Attempt
-// before servicing a request (transient error / latency multiplier /
-// brownout) and applies the bounded RetryPolicy on failure; stripefs
-// decides what a permanent per-request failure means per request kind
-// (requeue demand reads and write-backs, abandon prefetches); and the VM
-// asks DropPrefetch to model synthetic memory-pressure spikes. A nil
-// *Injector is valid everywhere and injects nothing at the cost of one
-// nil check per decision point.
+// The layers consume the injector as follows: each storage backend asks
+// Attempt before servicing a request (transient error / latency
+// multiplier / brownout), keyed by its device ID, and applies the
+// bounded RetryPolicy on failure; stripefs decides what a permanent
+// per-request failure means per request kind (requeue demand reads and
+// write-backs, abandon prefetches); and the VM asks DropPrefetch to
+// model synthetic memory-pressure spikes. A nil *Injector is valid
+// everywhere and injects nothing at the cost of one nil check per
+// decision point.
+//
+// The fault model is tier-oblivious, but its physical reading follows
+// the backend consuming it: on the disk tier an Attempt verdict is a
+// media error or a whole-disk brownout, on the far-memory tier the
+// device asks once per network round trip, so error rates are link
+// losses and brownout windows are network partitions failing whole
+// batches.
 package fault
 
 import (
@@ -111,8 +119,9 @@ type Profile struct {
 	Seed uint64
 
 	// ReadErrorRate and WriteErrorRate are the per-attempt probabilities
-	// that a disk read or write attempt fails transiently (capped at
-	// MaxRate so retries terminate).
+	// that a device read or write attempt fails transiently (capped at
+	// MaxRate so retries terminate). On the far-memory tier an attempt is
+	// one network round trip, so these are link-loss rates.
 	ReadErrorRate  float64
 	WriteErrorRate float64
 
@@ -127,14 +136,16 @@ type Profile struct {
 	// Non-binding hints make this safe by design.
 	DropRate float64
 
-	// BrownoutPeriod/BrownoutDuration switch every disk into a periodic
-	// whole-disk outage: each disk is unavailable for Duration out of
-	// every Period, with a seed-derived phase offset per disk so the
-	// array browns out staggered, not in lockstep. Zero disables.
+	// BrownoutPeriod/BrownoutDuration switch every device into a
+	// periodic whole-device outage: each device is unavailable for
+	// Duration out of every Period, with a seed-derived phase offset per
+	// device so the array browns out staggered, not in lockstep. On the
+	// far-memory tier a window is a network partition: every round trip
+	// inside it fails. Zero disables.
 	BrownoutPeriod   sim.Time
 	BrownoutDuration sim.Time
 
-	// Retry overrides the disks' retry policy; zero fields take
+	// Retry overrides the devices' retry policy; zero fields take
 	// defaults.
 	Retry RetryPolicy
 }
@@ -319,8 +330,8 @@ type Injector struct {
 	prof  Profile
 	retry RetryPolicy
 
-	diskStreams []stream // per-disk decision streams, grown on demand
-	vmStream    stream   // prefetch-drop decisions
+	devStreams []stream // per-device decision streams, grown on demand
+	vmStream   stream   // prefetch-drop decisions
 
 	n     Counts
 	c     counters
@@ -379,12 +390,12 @@ func (i *Injector) Counts() Counts {
 	return i.n
 }
 
-// diskStream returns disk d's decision stream, creating streams lazily.
-func (i *Injector) diskStream(d int) *stream {
-	for len(i.diskStreams) <= d {
-		i.diskStreams = append(i.diskStreams, newStream(i.prof.Seed, uint64(len(i.diskStreams))))
+// devStream returns device d's decision stream, creating streams lazily.
+func (i *Injector) devStream(d int) *stream {
+	for len(i.devStreams) <= d {
+		i.devStreams = append(i.devStreams, newStream(i.prof.Seed, uint64(len(i.devStreams))))
 	}
-	return &i.diskStreams[d]
+	return &i.devStreams[d]
 }
 
 // brownedOut reports whether disk d is inside a brownout window at now.
@@ -414,7 +425,7 @@ func (i *Injector) Attempt(d int, write bool, now sim.Time) Verdict {
 		i.track.InstantArg("brownout", "fault", now, "disk", int64(d))
 		return v
 	}
-	s := i.diskStream(d)
+	s := i.devStream(d)
 	rate := i.prof.ReadErrorRate
 	name := "read-error"
 	if write {

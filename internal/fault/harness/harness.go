@@ -59,7 +59,15 @@ func App(app *nas.App, scale float64) (Kernel, error) {
 // fault-free), checks the VM invariants afterwards, runs the kernel's
 // own validation if any, and returns the result with its fingerprint.
 func Run(k Kernel, prof *fault.Profile) (*core.Result, uint64, error) {
+	return RunBackend(k, nil, prof)
+}
+
+// RunBackend is Run on the given storage backend (nil = the kernel's own
+// machine): the same kernel, validation, and fingerprint, with the
+// storage tier swapped underneath.
+func RunBackend(k Kernel, spec *core.BackendSpec, prof *fault.Profile) (*core.Result, uint64, error) {
 	cfg := k.Cfg
+	cfg.Backend = spec
 	cfg.Faults = prof
 	res, err := core.Run(k.Build(), cfg)
 	if err != nil {
@@ -105,6 +113,29 @@ func CheckAgainst(k Kernel, prof fault.Profile, clean *core.Result, cleanSum uin
 	if faultSum != cleanSum {
 		return r, fmt.Errorf("harness: %s: output diverged under profile %q seed %d: fault-free %#x, faulted %#x (injected: %+v)",
 			k.Name, prof.Name, prof.Seed, cleanSum, faultSum, faulted.Faults)
+	}
+	return r, nil
+}
+
+// CheckBackendAgainst extends the property across storage tiers: the
+// kernel runs on the given backend (optionally under a fault profile —
+// brownouts are network partitions on the far-memory tier) and its
+// complete output must be byte-identical to the clean golden, which was
+// computed on the kernel's own machine. Backends only decide when
+// completions fire, so any divergence is a data-path bug in the backend.
+func CheckBackendAgainst(k Kernel, spec core.BackendSpec, prof *fault.Profile, clean *core.Result, cleanSum uint64) (*Report, error) {
+	res, sum, err := RunBackend(k, &spec, prof)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{Clean: clean, Faulted: res, CleanSum: cleanSum, FaultSum: sum}
+	if sum != cleanSum {
+		profName, profSeed := "none", uint64(0)
+		if prof != nil {
+			profName, profSeed = prof.Name, prof.Seed
+		}
+		return r, fmt.Errorf("harness: %s: output diverged on tier %s (profile %q seed %d): golden %#x, got %#x",
+			k.Name, spec.Tier, profName, profSeed, cleanSum, sum)
 	}
 	return r, nil
 }

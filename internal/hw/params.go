@@ -15,7 +15,11 @@ import (
 )
 
 // Params describes the simulated machine. All times are simulated
-// nanoseconds (sim.Time).
+// nanoseconds (sim.Time). The storage subsystem is selected by Tier: the
+// disk-geometry fields apply to TierDisk, the NVMe* fields to TierNVMe,
+// and the Net* fields to TierFarMemory; Validate checks only the
+// selected tier's fields, so an NVMe or far-memory machine with zero
+// cylinders is legal.
 type Params struct {
 	// Memory system.
 	PageSize    int64 // bytes per page (4 KB in the paper)
@@ -26,14 +30,37 @@ type Params struct {
 	LowWaterFrac  float64
 	HighWaterFrac float64
 
-	// Disk subsystem.
-	NumDisks        int      // seven in the paper
+	// Storage subsystem. Tier selects the device model (the zero value
+	// is the paper's striped-disk array); NumDisks is the number of
+	// devices the file system stripes across whatever the tier.
+	Tier     Tier
+	NumDisks int // seven in the paper
+
+	// Disk tier (TierDisk): the positional service-time model.
 	SeekMin         sim.Time // single-track seek
 	SeekMax         sim.Time // full-stroke seek
 	RotationTime    sim.Time // full platter rotation (5400 RPM -> 11.1 ms)
 	TransferPerPage sim.Time // media transfer time for one page
 	DiskCylinders   int64    // cylinder count used by the seek model
 	PagesPerCyl     int64    // pages per cylinder (locality of extents)
+
+	// NVMe tier (TierNVMe): a flat-latency device with no positional
+	// state. The command latency amortizes across the device's internal
+	// parallelism as the queue deepens (deep queues are how flash earns
+	// its throughput), plus a per-page media transfer.
+	NVMeLatency         sim.Time // uncontended one-command latency
+	NVMeTransferPerPage sim.Time // media transfer time for one page
+	NVMeParallelism     int      // internal channels the latency amortizes over
+
+	// Far-memory tier (TierFarMemory): remote memory reached over a
+	// network. Each fetch batch is one round trip; queued requests are
+	// coalesced into batches of up to NetBatchRequests, each contiguous
+	// run inside a batch costing NetPerRequest of header overhead, with
+	// pages moving at NetTransferPerPage on the wire.
+	NetRTT             sim.Time // network round trip per batched fetch
+	NetTransferPerPage sim.Time // wire transfer time for one page
+	NetPerRequest      sim.Time // per wire-request overhead inside a batch
+	NetBatchRequests   int      // max requests coalesced per round trip
 
 	// Operating system costs (Hurricane was instrumented, so the paper
 	// calls these inflated; they are what the shape of the results needs).
@@ -105,14 +132,27 @@ func (p Params) HighWater() int64 {
 	return n
 }
 
-// AvgPageRead returns the expected uncontended latency of a one-page read:
-// average seek plus half a rotation plus the transfer.
+// AvgPageRead returns the expected uncontended latency of a one-page
+// read on p's storage tier: average seek plus half a rotation plus the
+// transfer on the disk tier, the command latency plus transfer on the
+// NVMe tier, and one round trip plus header and transfer on the
+// far-memory tier. The compiler derives its prefetch distance from this
+// figure, so each tier gets distances matched to its own latency.
 func (p Params) AvgPageRead() sim.Time {
+	switch p.Tier {
+	case TierNVMe:
+		return p.NVMeLatency + p.NVMeTransferPerPage
+	case TierFarMemory:
+		return p.NetRTT + p.NetPerRequest + p.NetTransferPerPage
+	}
 	avgSeek := (p.SeekMin + p.SeekMax) / 2
 	return avgSeek + p.RotationTime/2 + p.TransferPerPage
 }
 
-// Validate checks the parameters for internal consistency.
+// Validate checks the parameters for internal consistency. The storage
+// checks are tier-aware: only the fields of p's own tier must be
+// meaningful, so an NVMe or far-memory machine with zero disk geometry
+// is legal while a disk machine with zero cylinders still fails.
 func (p Params) Validate() error {
 	switch {
 	case p.PageSize <= 0 || p.PageSize&(p.PageSize-1) != 0:
@@ -120,13 +160,12 @@ func (p Params) Validate() error {
 	case p.MemoryBytes < 8*p.PageSize:
 		return fmt.Errorf("hw: memory %d B is under 8 pages", p.MemoryBytes)
 	case p.NumDisks < 1:
-		return fmt.Errorf("hw: need at least one disk, have %d", p.NumDisks)
-	case p.SeekMin < 0 || p.SeekMax < p.SeekMin:
-		return fmt.Errorf("hw: invalid seek range [%v, %v]", p.SeekMin, p.SeekMax)
-	case p.RotationTime <= 0 || p.TransferPerPage <= 0:
-		return fmt.Errorf("hw: rotation %v and transfer %v must be positive", p.RotationTime, p.TransferPerPage)
-	case p.DiskCylinders <= 0 || p.PagesPerCyl <= 0:
-		return fmt.Errorf("hw: disk geometry %d cyl × %d pages invalid", p.DiskCylinders, p.PagesPerCyl)
+		return fmt.Errorf("hw: need at least one storage device, have %d", p.NumDisks)
+	}
+	if err := p.validateTier(); err != nil {
+		return err
+	}
+	switch {
 	case p.FaultServiceTime <= 0 || p.PrefetchSyscallTime <= 0:
 		return fmt.Errorf("hw: kernel costs must be positive")
 	case p.FilterCheckTime <= 0 || p.FilterCheckTime >= p.PrefetchSyscallTime:

@@ -1,0 +1,157 @@
+// Storage tiers. The paper derives its prefetch-distance and release
+// policies for exactly one hardware point — seven striped local disks
+// with the Table 1 seek/rotation constants. Faster and farther storage
+// (flash with deep internal queues, far memory reached over a network)
+// changes the latency-to-compute ratio those policies were tuned for, so
+// the platform description carries a Tier selecting which storage model
+// backs the striped file system, plus a per-tier parameter set. The
+// compiler's prefetch distance follows automatically: it is derived from
+// AvgPageRead, which is tier-aware.
+package hw
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Tier selects the storage model backing the striped file system. The
+// zero value is the paper's striped-disk array, so existing
+// configurations are unchanged.
+type Tier int
+
+const (
+	// TierDisk is the paper's platform: an array of rotating disks with
+	// a positional (seek + rotation + transfer) service-time model.
+	TierDisk Tier = iota
+	// TierNVMe is a flat-latency flash device: no positional state, a
+	// fixed command latency amortized across the device's internal
+	// parallelism as the queue deepens, plus a per-page transfer.
+	TierNVMe
+	// TierFarMemory is a remote-memory tier reached over a network: each
+	// fetch is a round trip, and the device coalesces queued requests
+	// into asynchronously submitted batches so the round-trip latency
+	// amortizes across many pages (3PO-style far-memory prefetching).
+	TierFarMemory
+	numTiers
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierDisk:
+		return "disk"
+	case TierNVMe:
+		return "nvme"
+	case TierFarMemory:
+		return "farmem"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// tierNames maps every accepted spelling to its tier; the canonical
+// name of each tier is its String().
+var tierNames = map[string]Tier{
+	"disk":       TierDisk,
+	"nvme":       TierNVMe,
+	"flash":      TierNVMe,
+	"farmem":     TierFarMemory,
+	"far-memory": TierFarMemory,
+	"farmemory":  TierFarMemory,
+}
+
+// TierByName maps a tier name ("disk", "nvme"/"flash",
+// "farmem"/"far-memory") to its Tier.
+func TierByName(name string) (Tier, bool) {
+	t, ok := tierNames[name]
+	return t, ok
+}
+
+// TierNames returns the canonical tier names, sorted.
+func TierNames() []string {
+	names := make([]string, 0, numTiers)
+	for t := Tier(0); t < numTiers; t++ {
+		names = append(names, t.String())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultTier returns the reconstructed platform with its storage
+// subsystem replaced by the given tier's default device set. The memory
+// system, OS costs, and CPU model are the Table 1 values for every tier,
+// so cross-tier comparisons isolate the storage model.
+func DefaultTier(t Tier) Params {
+	p := Default()
+	p.Tier = t
+	switch t {
+	case TierDisk:
+		// Default() is the disk tier.
+	case TierNVMe:
+		// One flash device replaces the seven-disk array: a flat 90 µs
+		// command latency that amortizes across 8 internal channels as
+		// the queue deepens, and a media rate far above the disks'.
+		p.NumDisks = 1
+		p.NVMeLatency = 90 * sim.Microsecond
+		p.NVMeTransferPerPage = 10 * sim.Microsecond
+		p.NVMeParallelism = 8
+	case TierFarMemory:
+		// One network link to a far-memory node: a 25 µs round trip per
+		// batched fetch, a small per-request header cost inside a batch,
+		// wire transfer near memory bandwidth, and up to 16 requests
+		// coalesced per round trip.
+		p.NumDisks = 1
+		p.NetRTT = 25 * sim.Microsecond
+		p.NetTransferPerPage = 2 * sim.Microsecond
+		p.NetPerRequest = 1 * sim.Microsecond
+		p.NetBatchRequests = 16
+	default:
+		panic(fmt.Sprintf("hw: unknown tier %v", t))
+	}
+	return p
+}
+
+// ScaledTier is DefaultTier with physical memory reduced to memBytes,
+// the tier analogue of Scaled.
+func ScaledTier(t Tier, memBytes int64) Params {
+	p := DefaultTier(t)
+	p.MemoryBytes = memBytes
+	return p
+}
+
+// validateTier checks the parameters of p's storage tier; the shared
+// (memory system, OS cost, CPU) checks live in Validate.
+func (p Params) validateTier() error {
+	switch p.Tier {
+	case TierDisk:
+		switch {
+		case p.SeekMin < 0 || p.SeekMax < p.SeekMin:
+			return fmt.Errorf("hw: invalid seek range [%v, %v]", p.SeekMin, p.SeekMax)
+		case p.RotationTime <= 0 || p.TransferPerPage <= 0:
+			return fmt.Errorf("hw: rotation %v and transfer %v must be positive", p.RotationTime, p.TransferPerPage)
+		case p.DiskCylinders <= 0 || p.PagesPerCyl <= 0:
+			return fmt.Errorf("hw: disk geometry %d cyl × %d pages invalid", p.DiskCylinders, p.PagesPerCyl)
+		}
+	case TierNVMe:
+		switch {
+		case p.NVMeLatency <= 0 || p.NVMeTransferPerPage <= 0:
+			return fmt.Errorf("hw: nvme latency %v and transfer %v must be positive",
+				p.NVMeLatency, p.NVMeTransferPerPage)
+		case p.NVMeParallelism < 1:
+			return fmt.Errorf("hw: nvme parallelism %d must be at least 1", p.NVMeParallelism)
+		}
+	case TierFarMemory:
+		switch {
+		case p.NetRTT <= 0 || p.NetTransferPerPage <= 0:
+			return fmt.Errorf("hw: far-memory rtt %v and transfer %v must be positive",
+				p.NetRTT, p.NetTransferPerPage)
+		case p.NetPerRequest < 0:
+			return fmt.Errorf("hw: far-memory per-request cost %v must not be negative", p.NetPerRequest)
+		case p.NetBatchRequests < 1:
+			return fmt.Errorf("hw: far-memory batch size %d must be at least 1", p.NetBatchRequests)
+		}
+	default:
+		return fmt.Errorf("hw: unknown storage tier %d", int(p.Tier))
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTierNamesRoundTrip(t *testing.T) {
+	for _, tier := range []Tier{TierDisk, TierNVMe, TierFarMemory} {
+		got, ok := TierByName(tier.String())
+		if !ok || got != tier {
+			t.Fatalf("TierByName(%q) = %v, %v", tier.String(), got, ok)
+		}
+	}
+	for name, want := range map[string]Tier{"flash": TierNVMe, "far-memory": TierFarMemory, "farmemory": TierFarMemory} {
+		if got, ok := TierByName(name); !ok || got != want {
+			t.Fatalf("alias %q = %v, %v, want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := TierByName("tape"); ok {
+		t.Fatal("TierByName accepted an unknown tier")
+	}
+	if got := TierNames(); len(got) != 3 {
+		t.Fatalf("TierNames() = %v, want 3 canonical names", got)
+	}
+}
+
+func TestDefaultTierValid(t *testing.T) {
+	for _, tier := range []Tier{TierDisk, TierNVMe, TierFarMemory} {
+		p := DefaultTier(tier)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("DefaultTier(%v) invalid: %v", tier, err)
+		}
+		if p.Tier != tier {
+			t.Fatalf("DefaultTier(%v).Tier = %v", tier, p.Tier)
+		}
+		if err := ScaledTier(tier, 8<<20).Validate(); err != nil {
+			t.Fatalf("ScaledTier(%v) invalid: %v", tier, err)
+		}
+	}
+}
+
+// The bugfix this PR carries: Validate must check only the selected
+// tier's device parameters. An NVMe or far-memory machine legitimately
+// has zero disk geometry (there is no arm), while a disk machine with
+// zero cylinders must still fail.
+func TestValidateIsTierAware(t *testing.T) {
+	nvme := DefaultTier(TierNVMe)
+	nvme.DiskCylinders, nvme.PagesPerCyl = 0, 0
+	nvme.RotationTime, nvme.TransferPerPage = 0, 0
+	nvme.SeekMin, nvme.SeekMax = 0, 0
+	if err := nvme.Validate(); err != nil {
+		t.Fatalf("nvme machine with zero disk geometry rejected: %v", err)
+	}
+
+	far := DefaultTier(TierFarMemory)
+	far.DiskCylinders, far.RotationTime, far.TransferPerPage = 0, 0, 0
+	far.NVMeLatency = 0
+	if err := far.Validate(); err != nil {
+		t.Fatalf("far-memory machine with zero disk/nvme params rejected: %v", err)
+	}
+
+	disk := Default()
+	disk.DiskCylinders = 0
+	if err := disk.Validate(); err == nil {
+		t.Fatal("disk machine with zero cylinders accepted")
+	}
+}
+
+func TestValidateRejectsBadTierParams(t *testing.T) {
+	mut := []func(*Params){
+		func(p *Params) { p.Tier = TierNVMe; p.NVMeLatency = 0 },
+		func(p *Params) { p.Tier = TierNVMe; p.NVMeTransferPerPage = 0 },
+		func(p *Params) { p.Tier = TierNVMe; p.NVMeParallelism = 0 },
+		func(p *Params) { p.Tier = TierFarMemory; p.NetRTT = 0 },
+		func(p *Params) { p.Tier = TierFarMemory; p.NetTransferPerPage = 0 },
+		func(p *Params) { p.Tier = TierFarMemory; p.NetPerRequest = -1 },
+		func(p *Params) { p.Tier = TierFarMemory; p.NetBatchRequests = 0 },
+		func(p *Params) { p.Tier = Tier(7) },
+	}
+	for i, m := range mut {
+		p := Default()
+		base := func() {
+			// Give the mutated tier plausible values first so each case
+			// isolates exactly one invalid field.
+			q := DefaultTier(TierNVMe)
+			p.NVMeLatency, p.NVMeTransferPerPage, p.NVMeParallelism = q.NVMeLatency, q.NVMeTransferPerPage, q.NVMeParallelism
+			q = DefaultTier(TierFarMemory)
+			p.NetRTT, p.NetTransferPerPage, p.NetPerRequest, p.NetBatchRequests = q.NetRTT, q.NetTransferPerPage, q.NetPerRequest, q.NetBatchRequests
+		}
+		base()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("tier mutation %d: Validate accepted an invalid config", i)
+		}
+	}
+}
+
+// The compiler derives prefetch distances from AvgPageRead, so each
+// tier's average uncontended page read must reflect its own model and
+// order the tiers disk > nvme > farmem.
+func TestAvgPageReadPerTier(t *testing.T) {
+	d := DefaultTier(TierDisk).AvgPageRead()
+	n := DefaultTier(TierNVMe).AvgPageRead()
+	f := DefaultTier(TierFarMemory).AvgPageRead()
+	if !(d > n && n > f) {
+		t.Fatalf("tier page reads not ordered: disk %v, nvme %v, farmem %v", d, n, f)
+	}
+	if n > sim.Millisecond || f > sim.Millisecond {
+		t.Fatalf("fast tiers in the millisecond range: nvme %v, farmem %v", n, f)
+	}
+}

@@ -1,8 +1,16 @@
 // Package stripefs implements the file-system layer of the platform: files
-// whose pages are striped round-robin across all disks, with extent-based
-// placement (contiguous file blocks on a disk occupy contiguous disk
-// blocks, so sequential access needs no seeks). This mirrors the Hurricane
-// File System configuration used in the paper.
+// whose pages are striped round-robin across all storage devices, with
+// extent-based placement (contiguous file blocks on a device occupy
+// contiguous device blocks, so sequential access needs no seeks). This
+// mirrors the Hurricane File System configuration used in the paper.
+//
+// The devices are disk.Backends built for the machine's storage tier
+// (hw.Params.Tier): the paper's striped disks, NVMe-like flat-latency
+// devices, or a far-memory tier. The layer is tier-oblivious — batching
+// and coalescing live here: Read merges the contiguous pages landing on
+// one device into a single request, so a block prefetch costs one
+// positional delay (or one wire request) per device, and the far-memory
+// backend further batches outstanding requests per network round trip.
 //
 // Page contents move through the layer as []uint64 words — the VM's
 // native frame format — so a transfer is one word-slice copy with no
@@ -19,12 +27,13 @@ import (
 	"repro/internal/sim"
 )
 
-// FS is a striped file system over a fixed array of disks.
+// FS is a striped file system over a fixed array of storage devices.
 type FS struct {
 	clock *sim.Clock
 	p     hw.Params
-	disks []*disk.Disk
-	// next free disk-local block on each disk (bump allocation: extents).
+	devs  []disk.Backend
+	// next free device-local block on each device (bump allocation:
+	// extents).
 	nextBlock []int64
 	files     []*File
 
@@ -50,16 +59,17 @@ type FS struct {
 	abandonedPages *obs.Counter // prefetched pages abandoned to a later demand fault
 }
 
-// New creates a file system over p.NumDisks fresh disks. If sched is nil
-// each disk uses FCFS, matching the paper ("the disk scheduler treats
-// prefetches the same as normal disk read requests").
+// New creates a file system over p.NumDisks fresh devices of p's
+// storage tier. sched applies to the disk tier only; nil means FCFS,
+// matching the paper ("the disk scheduler treats prefetches the same as
+// normal disk read requests").
 func New(clock *sim.Clock, p hw.Params, mkSched func() disk.Scheduler) *FS {
 	return NewObserved(clock, p, mkSched, nil)
 }
 
 // NewObserved is New with the run's observability sinks attached: every
-// disk's counters register in o's registry and each disk gets its own
-// trace track ("disk 0" ... "disk N-1") on o's trace process.
+// device's counters register in o's registry and each device gets its
+// own trace track ("disk 0" ... "disk N-1") on o's trace process.
 func NewObserved(clock *sim.Clock, p hw.Params, mkSched func() disk.Scheduler, o *obs.RunObs) *FS {
 	fs := &FS{clock: clock, p: p, nextBlock: make([]int64, p.NumDisks)}
 	reg := o.Registry()
@@ -72,24 +82,36 @@ func NewObserved(clock *sim.Clock, p hw.Params, mkSched func() disk.Scheduler, o
 			s = mkSched()
 		}
 		track := o.Thread(fmt.Sprintf("disk %d", i))
-		fs.disks = append(fs.disks, disk.NewObserved(clock, p, i, s, reg, track))
+		fs.devs = append(fs.devs, disk.NewBackend(clock, p, i, s, reg, track))
 	}
 	return fs
 }
 
-// SetFaults attaches a fault injector to every disk (nil detaches). The
-// file system's own degradation policy — what a *permanent* per-request
-// failure means — is always in place; without an injector the disks
-// never fail, so it simply never runs.
+// SetFaults attaches a fault injector to every device (nil detaches).
+// The file system's own degradation policy — what a *permanent*
+// per-request failure means — is always in place; without an injector
+// the devices never fail, so it simply never runs.
 func (fs *FS) SetFaults(inj *fault.Injector) {
 	fs.flt = inj
-	for _, d := range fs.disks {
+	for _, d := range fs.devs {
 		d.SetFaults(inj)
 	}
 }
 
-// Disks exposes the underlying disks (for statistics).
-func (fs *FS) Disks() []*disk.Disk { return fs.disks }
+// Backends exposes the underlying storage devices (for statistics).
+func (fs *FS) Backends() []disk.Backend { return fs.devs }
+
+// Disks exposes the underlying devices as concrete disks. It panics off
+// the disk tier.
+//
+// Deprecated: use Backends, which works on every storage tier.
+func (fs *FS) Disks() []*disk.Disk {
+	out := make([]*disk.Disk, len(fs.devs))
+	for i, d := range fs.devs {
+		out[i] = d.(*disk.Disk)
+	}
+	return out
+}
 
 // Params returns the hardware parameters the file system was built with.
 func (fs *FS) Params() hw.Params { return fs.p }
@@ -221,7 +243,7 @@ func (f *File) DiskOf(page int64) int {
 // subsystem is overloaded.
 func (f *File) QueueLenOf(page int64) int {
 	d, _ := f.locate(page)
-	return f.fs.disks[d].QueueLen()
+	return f.fs.devs[d].QueueLen()
 }
 
 // storeBufFor returns a zeroed page buffer installed as the backing
@@ -371,7 +393,7 @@ func (s *subReq) failed() {
 		return
 	}
 	fs.requeuedReads.Inc()
-	fs.disks[s.disk].Submit(disk.Request{
+	fs.devs[s.disk].Submit(disk.Request{
 		Block: s.block, Pages: s.count, Kind: s.kind,
 		Done: s.deliverFn, Failed: s.failedFn,
 	})
@@ -437,7 +459,7 @@ func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []uint64
 		if fs.flt != nil {
 			req.Failed = s.failedFn
 		}
-		fs.disks[dd].Submit(req)
+		fs.devs[dd].Submit(req)
 	}
 }
 
@@ -482,7 +504,7 @@ func (w *writeOp) deliver() {
 // data must reach the platter.
 func (w *writeOp) failed() {
 	w.fs.requeuedWrites.Inc()
-	w.fs.disks[w.disk].Submit(disk.Request{
+	w.fs.devs[w.disk].Submit(disk.Request{
 		Block: w.block, Pages: 1, Kind: disk.Write,
 		Done: w.deliverFn, Failed: w.failedFn,
 	})
@@ -509,5 +531,5 @@ func (f *File) Write(page int64, src []uint64, done func()) {
 	if fs.flt != nil {
 		req.Failed = w.failedFn
 	}
-	fs.disks[w.disk].Submit(req)
+	fs.devs[w.disk].Submit(req)
 }

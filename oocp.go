@@ -123,6 +123,42 @@ type FaultProfile = fault.Profile
 // (Result.Faults).
 type FaultCounts = fault.Counts
 
+// Tier selects the storage model backing the striped file system: the
+// paper's rotating-disk array (the zero value), an NVMe-like
+// flat-latency device, or a far-memory tier reached over a network. The
+// compiler's prefetch distance follows the tier automatically.
+type Tier = hw.Tier
+
+// The storage tiers.
+const (
+	TierDisk      = hw.TierDisk
+	TierNVMe      = hw.TierNVMe
+	TierFarMemory = hw.TierFarMemory
+)
+
+// BackendSpec selects and parameterizes a run's storage backend. Attach
+// one via Config.Backend, RunOptions.Backend, or SuiteOptions.Backend;
+// results are identical across tiers by construction — only timing and
+// device statistics change.
+type BackendSpec = core.BackendSpec
+
+// TierFor maps a tier name ("disk", "nvme"/"flash",
+// "farmem"/"far-memory") to its Tier.
+func TierFor(name string) (Tier, error) { return core.TierFor(name) }
+
+// TierNames returns the canonical storage-tier names, sorted.
+func TierNames() []string { return hw.TierNames() }
+
+// ParseBackendSpec parses a CLI-style backend specification such as
+// "nvme" or "tier=farmem,rtt=40us,batch=32" (see core.ParseBackendSpec
+// for the full key set).
+func ParseBackendSpec(spec string) (BackendSpec, error) { return core.ParseBackendSpec(spec) }
+
+// MachineForTier is MachineFor on the given storage tier.
+func MachineForTier(t Tier, dataBytes int64, ratio float64) Machine {
+	return core.MachineForTier(t, dataBytes, ratio)
+}
+
 // FaultProfileByName returns a named fault profile (none, flaky, slow,
 // pressure, brownout, chaos).
 func FaultProfileByName(name string) (FaultProfile, bool) { return fault.ProfileByName(name) }
