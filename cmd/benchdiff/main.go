@@ -49,13 +49,16 @@ func main() {
 			fatal(err)
 		}
 	case *baseline != "" && *current != "":
-		regressions, err := compare(*baseline, *current, *threshold)
+		regressions, worst, err := compare(*baseline, *current, *threshold)
 		if err != nil {
 			fatal(err)
 		}
 		if len(regressions) > 0 {
 			for _, r := range regressions {
 				fmt.Fprintln(os.Stderr, "benchdiff:", r)
+			}
+			if worst != "" {
+				fmt.Fprintln(os.Stderr, "benchdiff: worst regressions:", worst)
 			}
 			os.Exit(1)
 		}
@@ -136,17 +139,19 @@ func stripProcSuffix(name string) string {
 	return name[:i]
 }
 
-// compare returns one message per regression: baseline benchmarks that
+// compare returns one message per regression — baseline benchmarks that
 // slowed by more than thresholdPct, that were allocation-free and now
-// allocate, or that vanished from the current recording.
-func compare(basePath, curPath string, thresholdPct float64) ([]string, error) {
+// allocate, or that vanished from the current recording — plus a
+// worst-first summary of the ns/op regressors ("BenchmarkFoo (+42.0%),
+// BenchmarkBar (+17.3%)") for the failure message.
+func compare(basePath, curPath string, thresholdPct float64) ([]string, string, error) {
 	base, err := load(basePath)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	cur, err := load(curPath)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	names := make([]string, 0, len(base))
 	for name := range base {
@@ -154,6 +159,7 @@ func compare(basePath, curPath string, thresholdPct float64) ([]string, error) {
 	}
 	sort.Strings(names)
 	var regressions []string
+	var slowdowns []slowdown
 	for _, name := range names {
 		b := base[name]
 		c, ok := cur[name]
@@ -172,6 +178,7 @@ func compare(basePath, curPath string, thresholdPct float64) ([]string, error) {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.1f ns/op -> %.1f ns/op (%+.1f%% > %.0f%% threshold)",
 					name, b.NsOp, c.NsOp, change, thresholdPct))
+			slowdowns = append(slowdowns, slowdown{name, change})
 		}
 		// A benchmark recorded at zero allocs/op is a zero-allocation
 		// guarantee: any new allocation fails regardless of the ns/op
@@ -183,7 +190,26 @@ func compare(basePath, curPath string, thresholdPct float64) ([]string, error) {
 		}
 		fmt.Printf("%-40s %12.1f %12.1f %+8.1f%%  %s\n", name, b.NsOp, c.NsOp, change, status)
 	}
-	return regressions, nil
+	return regressions, worstSummary(slowdowns, 3), nil
+}
+
+// slowdown is one benchmark's ns/op regression, for the summary line.
+type slowdown struct {
+	name   string
+	change float64
+}
+
+// worstSummary names the n worst ns/op regressors, worst first.
+func worstSummary(slowdowns []slowdown, n int) string {
+	sort.Slice(slowdowns, func(i, j int) bool { return slowdowns[i].change > slowdowns[j].change })
+	if len(slowdowns) > n {
+		slowdowns = slowdowns[:n]
+	}
+	parts := make([]string, len(slowdowns))
+	for i, s := range slowdowns {
+		parts[i] = fmt.Sprintf("%s (%+.1f%%)", s.name, s.change)
+	}
+	return strings.Join(parts, ", ")
 }
 
 func load(path string) (map[string]Result, error) {

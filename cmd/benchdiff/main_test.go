@@ -40,14 +40,14 @@ func TestCompareNsOpThreshold(t *testing.T) {
 	dir := t.TempDir()
 	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 0}}`)
 	cur := writeJSON(t, dir, "cur.json", `{"BenchmarkFoo": {"ns_op": 120, "allocs_op": 0}}`)
-	regs, err := compare(base, cur, 15)
+	regs, _, err := compare(base, cur, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(regs) != 1 || !strings.Contains(regs[0], "threshold") {
 		t.Fatalf("regressions = %v, want one ns/op regression", regs)
 	}
-	regs, err = compare(base, cur, 25)
+	regs, _, err = compare(base, cur, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestCompareZeroAllocIsHard(t *testing.T) {
 	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 0}}`)
 	// Faster, but no longer allocation-free: still a failure.
 	cur := writeJSON(t, dir, "cur.json", `{"BenchmarkFoo": {"ns_op": 90, "allocs_op": 1}}`)
-	regs, err := compare(base, cur, 15)
+	regs, _, err := compare(base, cur, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestCompareAllocGrowthAllowedWhenNonzero(t *testing.T) {
 	dir := t.TempDir()
 	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 5}}`)
 	cur := writeJSON(t, dir, "cur.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 7}}`)
-	regs, err := compare(base, cur, 15)
+	regs, _, err := compare(base, cur, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +87,49 @@ func TestCompareMissingBenchmark(t *testing.T) {
 	dir := t.TempDir()
 	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 0}}`)
 	cur := writeJSON(t, dir, "cur.json", `{}`)
-	regs, err := compare(base, cur, 15)
+	regs, _, err := compare(base, cur, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
 		t.Fatalf("regressions = %v, want one missing-benchmark failure", regs)
+	}
+}
+
+func TestCompareWorstRegressorsSummary(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `{
+		"BenchmarkA": {"ns_op": 100, "allocs_op": 0},
+		"BenchmarkB": {"ns_op": 100, "allocs_op": 0},
+		"BenchmarkC": {"ns_op": 100, "allocs_op": 0},
+		"BenchmarkD": {"ns_op": 100, "allocs_op": 0},
+		"BenchmarkOK": {"ns_op": 100, "allocs_op": 0}}`)
+	cur := writeJSON(t, dir, "cur.json", `{
+		"BenchmarkA": {"ns_op": 130, "allocs_op": 0},
+		"BenchmarkB": {"ns_op": 180, "allocs_op": 0},
+		"BenchmarkC": {"ns_op": 150, "allocs_op": 0},
+		"BenchmarkD": {"ns_op": 120, "allocs_op": 0},
+		"BenchmarkOK": {"ns_op": 101, "allocs_op": 0}}`)
+	regs, worst, err := compare(base, cur, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 4 {
+		t.Fatalf("regressions = %v, want 4", regs)
+	}
+	// Worst first, capped at three, with the sub-threshold benchmark and
+	// the fourth-worst regressor absent.
+	want := "BenchmarkB (+80.0%), BenchmarkC (+50.0%), BenchmarkA (+30.0%)"
+	if worst != want {
+		t.Fatalf("worst = %q, want %q", worst, want)
+	}
+
+	// No regressions: no summary.
+	_, worst, err = compare(base, base, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst != "" {
+		t.Fatalf("worst = %q, want empty", worst)
 	}
 }

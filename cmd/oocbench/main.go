@@ -6,6 +6,7 @@
 //	         [-scale F] [-ratio F] [-mem MB]
 //	         [-parallel N] [-timeout D] [-progress]
 //	         [-backend SPEC] [-faults SPEC] [-trace FILE] [-metrics FILE]
+//	         [-explain-fastpath] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scale multiplies every application's problem size (1 = standard);
 // -ratio overrides the data:memory ratio (0 = each app's standard);
@@ -38,6 +39,15 @@
 // -trace writes a Chrome trace-event JSON timeline of every simulated
 // run (load it in Perfetto or chrome://tracing); -metrics writes a flat
 // JSON snapshot of every run's counters keyed "<app>/<variant>/name".
+//
+// -explain-fastpath runs every NAS proxy once at -scale and prints, per
+// loop, which compiled driver ran it (page-run span driver, linearized
+// kernel bytecode, or the closure oracle) and the fallback reason when a
+// loop missed the page-run path; it ignores -exp and exits afterwards.
+//
+// -cpuprofile and -memprofile write pprof profiles of the harness itself
+// (host time, not simulated time) for diagnosing executor overhead; see
+// EXPERIMENTS.md for the profiling workflow.
 package main
 
 import (
@@ -47,6 +57,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	oocp "repro"
 )
@@ -70,6 +82,9 @@ func main() {
 	faultSpec := flag.String("faults", "", `fault profile for suite runs ("brownout", "profile=chaos,seed=7", ...)`)
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	metricsPath := flag.String("metrics", "", "write a flat JSON metrics snapshot to this file")
+	explain := flag.Bool("explain-fastpath", false, "print each NAS loop's compiled driver and fallback reason, then exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	usage := func(format string, args ...any) {
@@ -109,6 +124,37 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oocbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			fail(f.Close())
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			fail(err)
+			runtime.GC() // flush recently-freed objects out of the profile
+			fail(pprof.WriteHeapProfile(f))
+			fail(f.Close())
+		}()
+	}
+
+	if *explain {
+		fail(oocp.ExplainFastPath(os.Stdout, *scale))
+		return
+	}
+
 	var progressFn oocp.ProgressFunc
 	if *progress {
 		progressFn = func(p oocp.Progress) {
@@ -135,12 +181,6 @@ func main() {
 		Trace: trace, Metrics: metrics}
 
 	w := os.Stdout
-	fail := func(err error) {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "oocbench:", err)
-			os.Exit(1)
-		}
-	}
 
 	needSuite := func() bool {
 		switch *exp {

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/nas"
+)
+
+func TestHostMatrixMeasure(t *testing.T) {
+	if os.Getenv("HOSTMATRIX") == "" {
+		t.Skip("measurement helper; set HOSTMATRIX=1")
+	}
+	tiers := []string{"", "nvme", "farmem"}
+	for _, app := range nas.Apps() {
+		const scale = 0.1
+		prog0 := app.Build(scale)
+		ps := hw.Default().PageSize
+		if err := prog0.Resolve(ps); err != nil {
+			t.Fatal(err)
+		}
+		cfg0 := core.DefaultConfig(core.MachineFor(nas.DataBytes(prog0, ps), ratioFor(app)))
+		cfg0.Seed = app.Seed
+		fmt.Printf("%-6s", app.Name)
+		for _, tier := range tiers {
+			cfg := cfg0
+			if tier != "" {
+				s, err := core.ParseBackendSpec(tier)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Backend = &s
+			}
+			for _, slow := range []bool{true, false} {
+				c := cfg
+				c.NoFastPath = slow
+				best := time.Duration(1 << 62)
+				for r := 0; r < 3; r++ {
+					start := time.Now()
+					if _, err := core.Run(app.Build(scale), c); err != nil {
+						t.Fatal(err)
+					}
+					if d := time.Since(start); d < best {
+						best = d
+					}
+				}
+				fmt.Printf("  %8.2f", float64(best.Microseconds())/1000)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -14,14 +14,28 @@ import (
 // figure the executor's page-run fast path exists to improve; the other
 // benchmarks in the gate isolate its per-word components.
 func BenchmarkKernelHostTime(b *testing.B) {
-	app := nas.CGM()
-	const scale = 0.1
+	benchHostTime(b, nas.CGM(), 0.1, 2)
+}
+
+// BenchmarkHostTimeNAS is the per-application host-time matrix: every
+// NAS proxy end-to-end at a reduced scale, so a regression localized to
+// one app's loop shapes (indirect gather, 2-D nests, branches, FFT's
+// non-affine stages) shows up under its own name in the bench gate.
+func BenchmarkHostTimeNAS(b *testing.B) {
+	for _, app := range nas.Apps() {
+		b.Run(app.Name, func(b *testing.B) {
+			benchHostTime(b, app, 0.05, ratioFor(app))
+		})
+	}
+}
+
+func benchHostTime(b *testing.B, app *nas.App, scale, ratio float64) {
 	prog0 := app.Build(scale)
 	ps := hw.Default().PageSize
 	if err := prog0.Resolve(ps); err != nil {
 		b.Fatal(err)
 	}
-	cfg := core.DefaultConfig(core.MachineFor(nas.DataBytes(prog0, ps), 2))
+	cfg := core.DefaultConfig(core.MachineFor(nas.DataBytes(prog0, ps), ratio))
 	cfg.Seed = app.Seed
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -157,6 +157,10 @@ type Result struct {
 	// Faults tallies what the fault plane injected (all zero when
 	// Config.Faults was nil or disabled).
 	Faults fault.Counts
+
+	// FastPath reports, per loop, which compiled driver ran it and why
+	// the compiler fell back when it did (empty under NoFastPath).
+	FastPath []exec.LoopReport
 }
 
 // Speedup returns how much faster this run is than base:
@@ -311,6 +315,8 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		AvgFree: v.AvgFreeFrac(),
 		Metrics: reg,
 		Faults:  inj.Counts(),
+
+		FastPath: m.Reports(),
 	}
 	if smp != nil {
 		r.Timeline = smp.stop()

@@ -9,6 +9,7 @@ package exec
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/ir"
 	"repro/internal/rt"
@@ -27,6 +28,11 @@ type Env struct {
 	// per specialized array reference in the program, live only while a
 	// chunk of iterations executes (see fastpath.go).
 	sites []runSite
+
+	// ri/rf are the kernel interpreter's register files (kernel.go);
+	// index 0 of each is a permanent zero.
+	ri []int64
+	rf []float64
 }
 
 type stmtFn func(*Env)
@@ -35,13 +41,24 @@ type fFn func(*Env) float64
 type bFn func(*Env) bool
 
 // Machine is a compiled, runnable program bound to a VM and run-time
-// layer.
+// layer. The default compilation lowers the whole nest to kernel
+// bytecode (code != nil, run by runK); Options.NoFastPath and the
+// register-overflow fallback keep the closure tree in body instead.
 type Machine struct {
 	prog   *ir.Program
 	vm     *vm.VM
 	rt     *rt.Layer
 	body   stmtFn
 	nSites int
+
+	// kernel bytecode state (kcompile.go / kernel.go)
+	code      []kinstr
+	calls     []stmtFn
+	aux       []auxDim
+	haux      []hintAux
+	nRI, nRF  int
+	pageShift int64
+	reports   []LoopReport
 }
 
 // Options tunes compilation.
@@ -85,11 +102,34 @@ func NewWith(prog *ir.Program, v *vm.VM, layer *rt.Layer, opts Options) (*Machin
 		noFast:    opts.NoFastPath,
 		pageWords: v.Params().PageSize / ir.ElemSize,
 	}
-	body := c.stmts(prog.Body)
+	if opts.NoFastPath {
+		// Differential oracle: the pure closure tree, byte-for-byte the
+		// reference semantics.
+		body := c.stmts(prog.Body)
+		if c.err != nil {
+			return nil, c.err
+		}
+		return &Machine{prog: prog, vm: v, rt: layer, body: body, nSites: c.nSites}, nil
+	}
+	shift := int64(bits.TrailingZeros64(uint64(v.Params().PageSize)))
+	kc := newKcompiler(c, shift)
+	if kc.compile(prog.Body) {
+		m := &Machine{prog: prog, vm: v, rt: layer, nSites: c.nSites}
+		kc.install(m)
+		return m, nil
+	}
 	if c.err != nil {
 		return nil, c.err
 	}
-	return &Machine{prog: prog, vm: v, rt: layer, body: body, nSites: c.nSites}, nil
+	// Register/table pressure exceeded the bytecode's limits: fall back to
+	// the closure interpreter with page-run specialization (a fresh
+	// compiler, since kc consumed site numbering on the shared one).
+	c2 := &compiler{pageWords: c.pageWords}
+	body := c2.stmts(prog.Body)
+	if c2.err != nil {
+		return nil, c2.err
+	}
+	return &Machine{prog: prog, vm: v, rt: layer, body: body, nSites: c2.nSites}, nil
 }
 
 // Run executes the program once. The returned Env exposes final scalar
@@ -106,7 +146,13 @@ func (m *Machine) Run() *Env {
 	for _, p := range m.prog.Params {
 		e.Ints[p.Slot] = p.Val
 	}
-	m.body(e)
+	if m.code != nil {
+		e.ri = make([]int64, m.nRI)
+		e.rf = make([]float64, m.nRF)
+		m.runK(e)
+	} else {
+		m.body(e)
+	}
 	return e
 }
 

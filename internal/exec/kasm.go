@@ -1,0 +1,208 @@
+// Peephole fusion and final assembly for the kernel bytecode.
+package exec
+
+// intReads calls f for each integer register the instruction reads.
+// The enumeration must stay exhaustive: the peephole pass relies on it
+// to prove a temporary register dead before eliminating its writer.
+func intReads(in kinstr, f func(r uint16)) {
+	switch in.op {
+	case opJumpGeI, opJCmpI, opHintN:
+		f(in.a)
+		f(in.b)
+	case opLoopEnd, opLoopEndS:
+		f(in.dst)
+		f(in.b)
+	case opSetSlot, opSetSlotC, opIMove, opIAddImm, opIMulImm, opFromI,
+		opLoadF1, opLoadI1, opStoreF1, opIdx0, opLoadFA, opLoadIA, opStoreFA,
+		opHintPage, opHint1, opHintLoad1, opFAccDot:
+		f(in.a)
+	case opIAdd, opISub, opIMul, opIDiv, opIMod, opIShl, opIShr, opIMin, opIMax:
+		f(in.a)
+		f(in.b)
+	case opIdx3:
+		f(in.a)
+		f(in.b)
+		f(uint16(in.imm2))
+	case opFAccDot2:
+		f(in.a)
+		f(uint16(in.imm2))
+	case opHintIdx3:
+		f(in.a)
+		f(in.dst)
+		f(uint16(in.imm2))
+	case opIdxAcc:
+		f(in.dst)
+		f(in.a)
+	case opStoreI1, opStoreIA:
+		f(in.a)
+		f(in.dst)
+	case opHint:
+		f(in.a)
+		f(in.b)
+		f(in.dst)
+		f(uint16(in.imm))
+	}
+}
+
+// intWrite returns the integer register the instruction writes, if any.
+func intWrite(in kinstr) (uint16, bool) {
+	switch in.op {
+	case opIMove, opIConst, opISlot,
+		opIAdd, opISub, opIMul, opIDiv, opIMod, opIShl, opIShr, opIMin, opIMax,
+		opIAddImm, opIMulImm, opIFromF, opIdx3,
+		opLoadI1, opIdx0, opIdxAcc, opLoadIA, opHintPage, opHintN,
+		opLoopEnd, opLoopEndS:
+		return in.dst, true
+	}
+	return 0, false
+}
+
+// peephole fuses adjacent instruction patterns. It runs before assembly,
+// while jump targets are still opLabel markers, so removing instructions
+// cannot skew a target. Temporaries are only eliminated when a whole-code
+// census proves they are written once and read once, by the fused pair.
+func peephole(code []kinstr, nRI int, haux []hintAux) []kinstr {
+	reads := make([]int32, nRI)
+	writes := make([]int32, nRI)
+	for _, in := range code {
+		intReads(in, func(r uint16) { reads[r]++ })
+		if w, ok := intWrite(in); ok {
+			writes[w]++
+		}
+	}
+	dead1 := func(r uint16) bool { return reads[r] == 1 && writes[r] == 1 }
+
+	out := make([]kinstr, 0, len(code))
+	for i := 0; i < len(code); i++ {
+		// t = a + imm; m = min(t, cap); d = base + m   -->   d = idx3
+		// (the clamped-subscript shape hint planting produces per
+		// iteration: base + min(k + dist, last)).
+		if i+2 < len(code) &&
+			code[i].op == opIAddImm && code[i+1].op == opIMin && code[i+2].op == opIAdd {
+			t, m := code[i].dst, code[i+1].dst
+			cap, okm := otherOperand(code[i+1], t)
+			base, okd := otherOperand(code[i+2], m)
+			if okm && okd && t != m && cap != t && base != t && base != m &&
+				dead1(t) && dead1(m) {
+				out = append(out, kinstr{op: opIdx3, dst: code[i+2].dst,
+					a: code[i].a, b: cap, imm: code[i].imm, imm2: int64(base)})
+				i += 2
+				continue
+			}
+		}
+		// d = idx3; HintLoad1(d)   -->   HintIdx3. The clamped subscript
+		// folds into the hint dispatch itself; the displacement rides in
+		// the hint's (per-instruction) aux entry. Matches only on the
+		// second peephole pass, once P1 above has produced the opIdx3.
+		if i+1 < len(code) && code[i].op == opIdx3 && code[i+1].op == opHintLoad1 &&
+			code[i+1].a == code[i].dst && dead1(code[i].dst) {
+			h := code[i+1]
+			haux[h.b].dist = code[i].imm
+			out = append(out, kinstr{op: opHintIdx3, dst: uint16(code[i].imm2),
+				a: code[i].a, b: h.b, imm: h.imm, imm2: int64(code[i].b)})
+			i++
+			continue
+		}
+		// t = p + q; FAccDot(t)   -->   FAccDot2(p, q)
+		if i+1 < len(code) && code[i].op == opIAdd && code[i+1].op == opFAccDot &&
+			code[i+1].a == code[i].dst && dead1(code[i].dst) {
+			fused := code[i+1]
+			fused.op = opFAccDot2
+			fused.a = code[i].a
+			fused.imm2 = int64(code[i].b)
+			out = append(out, fused)
+			i++
+			continue
+		}
+		// Ints[s] = r; charge   -->   one dispatch. Moving the charge past
+		// a slot store is exact: neither can fault.
+		if i+1 < len(code) && code[i].op == opSetSlot && code[i+1].op == opCharge {
+			out = append(out, kinstr{op: opSetSlotC, a: code[i].a,
+				imm: code[i].imm, imm2: code[i+1].imm})
+			i++
+			continue
+		}
+		out = append(out, code[i])
+	}
+	return out
+}
+
+// otherOperand returns the operand of a two-register instruction that is
+// not r (min and add commute over int64).
+func otherOperand(in kinstr, r uint16) (uint16, bool) {
+	if in.a == r {
+		return in.b, true
+	}
+	if in.b == r {
+		return in.a, true
+	}
+	return 0, false
+}
+
+// fuseDotLoop rewrites a whole [opHintIdx3][opFAccDot2][opLoopEndS] loop
+// into a single opDotLoop dispatch. It runs after assembly (targets are
+// absolute pcs) and requires: the back edge targets the opHintIdx3, no
+// other jump lands inside the body, the hint and dot subscripts use the
+// induction register, and every other operand register is loop-invariant
+// (registers are written at most once outside the back edge, so any
+// register other than the induction register cannot change inside a body
+// consisting of exactly these three instructions).
+func fuseDotLoop(code []kinstr) {
+	targets := make(map[int]bool)
+	for _, in := range code {
+		switch in.op {
+		case opJump, opJumpGeI, opJCmpI, opJCmpF:
+			targets[int(in.imm)] = true
+		case opLoopEnd, opLoopEndS:
+			targets[int(in.imm2)] = true
+		}
+	}
+	for i := 0; i+2 < len(code); i++ {
+		if code[i].op != opHintIdx3 || code[i+1].op != opFAccDot2 ||
+			code[i+2].op != opLoopEndS {
+			continue
+		}
+		l := code[i+2]
+		if int(l.imm2) != i || targets[i+1] || targets[i+2] {
+			continue
+		}
+		kr := l.dst
+		if code[i].a != kr || code[i].dst == kr ||
+			uint16(code[i].imm2) == kr || l.b == kr {
+			continue
+		}
+		d := code[i+1]
+		if (d.a == kr) == (uint16(d.imm2) == kr) { // exactly one k operand
+			continue
+		}
+		code[i].op = opDotLoop
+	}
+}
+
+// assemble strips opLabel markers and patches every jump's label id to
+// its absolute pc.
+func assemble(code []kinstr, nLabels int) []kinstr {
+	pos := make([]int, nLabels)
+	n := 0
+	for _, in := range code {
+		if in.op == opLabel {
+			pos[in.imm] = n
+		} else {
+			n++
+		}
+	}
+	out := make([]kinstr, 0, n)
+	for _, in := range code {
+		if in.op == opLabel {
+			continue
+		}
+		switch in.op {
+		case opJump, opJumpGeI, opJCmpI, opJCmpF:
+			in.imm = int64(pos[in.imm])
+		case opLoopEnd, opLoopEndS:
+			in.imm2 = int64(pos[in.imm2])
+		}
+		out = append(out, in)
+	}
+	return out
+}

@@ -1,0 +1,585 @@
+// The nest compiler: lowers a whole program body — outer loops included —
+// to the flat kernel bytecode of kernel.go. Where the page-run fast path
+// (fastpath.go) specializes an innermost loop, the nest compiler calls it
+// and embeds the resulting span driver behind an opCall; everything else
+// becomes linear instructions, so steady-state iterations make zero
+// closure calls per element.
+//
+// Exactness discipline (see kernel.go's package comment): compile-time
+// operation charges accumulate in kc.pending and are materialized as one
+// opCharge before any instruction that can fault or cross into the
+// kernel, and before control flow splits. Pure integer expressions may be
+// CSE'd, folded, or hoisted out of a loop only when they are trap-free
+// and depend on no slot the loop writes; values bound to registers are
+// dropped at every join point whose dominating instructions might not
+// have executed (loop exits, branch joins, after drivers that write
+// slots). The closure oracle (exec.go) remains the reference semantics.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/ir"
+)
+
+// kloop is the compile-time context of one bytecode loop being built.
+type kloop struct {
+	slot     int
+	written  map[int]bool // int slots the body writes (incl. nested vars)
+	fwritten map[int]bool // float slots the body writes
+	hoist    []kinstr     // loop-invariant code, spliced before the guard
+	hoistCse map[string]uint16
+}
+
+// kmaps is a snapshot of the value-numbering state.
+type kmaps struct {
+	cse    map[string]uint16
+	cseDep map[string][]int
+	bind   map[int]uint16
+	fbind  map[int]uint16
+}
+
+type kcompiler struct {
+	oc    *compiler
+	shift int64 // page shift, for compile-time page arithmetic
+
+	code    []kinstr
+	buf     *[]kinstr // current emission target (body buffers swap in)
+	prelude []kinstr  // constant-pool loads, prepended at assembly
+	labels  int
+	pending int64 // operation charges not yet materialized
+
+	nRI, nRF int
+	overflow bool // ran out of registers (or call/aux slots)
+
+	cse    map[string]uint16 // pure int expr -> register holding it
+	cseDep map[string][]int  // its slot dependencies, for invalidation
+	bind   map[int]uint16    // int slot -> register mirroring it
+	fbind  map[int]uint16    // float slot -> register mirroring it
+	iconst map[int64]uint16
+	fconst map[uint64]uint16
+
+	calls  []stmtFn
+	aux    []auxDim
+	auxIdx map[string]int
+	haux   []hintAux
+
+	loops   []*kloop
+	reports []LoopReport
+}
+
+func newKcompiler(oc *compiler, shift int64) *kcompiler {
+	kc := &kcompiler{
+		oc: oc, shift: shift,
+		nRI: 1, nRF: 1, // ri[0]/rf[0] are permanent zeros
+		cse:    map[string]uint16{},
+		cseDep: map[string][]int{},
+		bind:   map[int]uint16{},
+		fbind:  map[int]uint16{},
+		iconst: map[int64]uint16{},
+		fconst: map[uint64]uint16{},
+		auxIdx: map[string]int{},
+	}
+	kc.buf = &kc.code
+	return kc
+}
+
+// compile lowers body; false means the program exceeded the bytecode's
+// register/table limits and the caller should fall back to closures.
+func (kc *kcompiler) compile(body []ir.Stmt) bool {
+	kc.stmts(body)
+	kc.flush()
+	if kc.oc.err != nil || kc.overflow {
+		return false
+	}
+	code := make([]kinstr, 0, len(kc.prelude)+len(kc.code))
+	code = append(code, kc.prelude...)
+	code = append(code, kc.code...)
+	// Two passes: the second fuses across products of the first
+	// (opIdx3 feeding opHintLoad1 becomes a single opHintIdx3).
+	code = peephole(peephole(code, kc.nRI, kc.haux), kc.nRI, kc.haux)
+	kc.code = assemble(code, kc.labels)
+	fuseDotLoop(kc.code)
+	return true
+}
+
+func (kc *kcompiler) install(m *Machine) {
+	m.code = kc.code
+	m.calls = kc.calls
+	m.aux = kc.aux
+	m.haux = kc.haux
+	m.nRI = kc.nRI
+	m.nRF = kc.nRF
+	m.pageShift = kc.shift
+	m.reports = kc.reports
+	if os.Getenv("OOC_KDUMP") != "" {
+		h := map[kop]int{}
+		for _, in := range m.code {
+			h[in.op]++
+		}
+		fmt.Fprintf(os.Stderr, "kdump: len=%d histo=%v\n", len(m.code), h)
+		for i, in := range m.code {
+			fmt.Fprintf(os.Stderr, "  %3d op=%d dst=%d a=%d b=%d imm=%d imm2=%d\n",
+				i, in.op, in.dst, in.a, in.b, in.imm, in.imm2)
+		}
+	}
+}
+
+// ---- emission helpers ----------------------------------------------------
+
+func (kc *kcompiler) emit(in kinstr) { *kc.buf = append(*kc.buf, in) }
+
+func (kc *kcompiler) iReg() uint16 {
+	if kc.nRI > 0xFFFF {
+		kc.overflow = true
+		return 0
+	}
+	r := uint16(kc.nRI)
+	kc.nRI++
+	return r
+}
+
+func (kc *kcompiler) fReg() uint16 {
+	if kc.nRF > 0xFFFF {
+		kc.overflow = true
+		return 0
+	}
+	r := uint16(kc.nRF)
+	kc.nRF++
+	return r
+}
+
+func (kc *kcompiler) charge(n int64) { kc.pending += n }
+
+// flush materializes pending charges. Call before any instruction that
+// can fault or cross into the kernel, and before control flow.
+func (kc *kcompiler) flush() {
+	if kc.pending != 0 {
+		kc.emit(kinstr{op: opCharge, imm: kc.pending})
+		kc.pending = 0
+	}
+}
+
+// takePending hands the pending charge to a fused instruction that
+// performs its own AddUserOps before anything can fault.
+func (kc *kcompiler) takePending() int64 {
+	p := kc.pending
+	kc.pending = 0
+	return p
+}
+
+func (kc *kcompiler) newLabel() int {
+	kc.labels++
+	return kc.labels - 1
+}
+
+func (kc *kcompiler) mark(l int) { kc.emit(kinstr{op: opLabel, imm: int64(l)}) }
+
+func (kc *kcompiler) addCall(fn stmtFn) uint16 {
+	if len(kc.calls) > 0xFFFF {
+		kc.overflow = true
+		return 0
+	}
+	kc.calls = append(kc.calls, fn)
+	return uint16(len(kc.calls) - 1)
+}
+
+func (kc *kcompiler) auxFor(arr *ir.Array, d int) int {
+	key := fmt.Sprintf("%s/%d", arr.Name, d)
+	if i, ok := kc.auxIdx[key]; ok {
+		return i
+	}
+	if len(kc.aux) > 0xFFFF {
+		kc.overflow = true
+		return 0
+	}
+	kc.aux = append(kc.aux, auxDim{name: arr.Name, dim: arr.Dims[d], d: d})
+	kc.auxIdx[key] = len(kc.aux) - 1
+	return len(kc.aux) - 1
+}
+
+func (kc *kcompiler) hauxAdd(h hintAux) uint16 {
+	if len(kc.haux) > 0xFFFF {
+		kc.overflow = true
+		return 0
+	}
+	kc.haux = append(kc.haux, h)
+	return uint16(len(kc.haux) - 1)
+}
+
+func (kc *kcompiler) iconstReg(v int64) uint16 {
+	if v == 0 {
+		return 0 // ri[0] is the zero register
+	}
+	if r, ok := kc.iconst[v]; ok {
+		return r
+	}
+	r := kc.iReg()
+	kc.prelude = append(kc.prelude, kinstr{op: opIConst, dst: r, imm: v})
+	kc.iconst[v] = r
+	return r
+}
+
+func (kc *kcompiler) fconstReg(v float64) uint16 {
+	b := math.Float64bits(v)
+	if r, ok := kc.fconst[b]; ok {
+		return r
+	}
+	r := kc.fReg()
+	kc.prelude = append(kc.prelude, kinstr{op: opFConst, dst: r, imm: int64(b)})
+	kc.fconst[b] = r
+	return r
+}
+
+// ---- value numbering -----------------------------------------------------
+
+// keyI builds a structural key for a pure integer expression.
+func keyI(x ir.IExpr) string {
+	switch e := x.(type) {
+	case ir.IConst:
+		return fmt.Sprintf("c%d", e.Val)
+	case ir.ISlot:
+		return fmt.Sprintf("s%d", e.Slot)
+	case ir.IBin:
+		return fmt.Sprintf("(%d %s %s)", e.Op, keyI(e.A), keyI(e.B))
+	}
+	return "?"
+}
+
+func slotsOf(x ir.IExpr) []int {
+	var deps []int
+	seen := map[int]bool{}
+	ir.IExprSlots(x, func(s int) {
+		if !seen[s] {
+			seen[s] = true
+			deps = append(deps, s)
+		}
+	})
+	return deps
+}
+
+// invalidateSlot drops every register fact that depended on int slot s.
+func (kc *kcompiler) invalidateSlot(s int) {
+	delete(kc.bind, s)
+	for k, deps := range kc.cseDep {
+		for _, d := range deps {
+			if d == s {
+				delete(kc.cse, k)
+				delete(kc.cseDep, k)
+				break
+			}
+		}
+	}
+}
+
+func cloneIU(m map[int]uint16) map[int]uint16 {
+	out := make(map[int]uint16, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneSU(m map[string]uint16) map[string]uint16 {
+	out := make(map[string]uint16, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneSD(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (kc *kcompiler) snapshot() kmaps {
+	return kmaps{cse: cloneSU(kc.cse), cseDep: cloneSD(kc.cseDep),
+		bind: cloneIU(kc.bind), fbind: cloneIU(kc.fbind)}
+}
+
+// restore installs fresh clones so one snapshot can seed several paths.
+func (kc *kcompiler) restore(m kmaps) {
+	kc.cse = cloneSU(m.cse)
+	kc.cseDep = cloneSD(m.cseDep)
+	kc.bind = cloneIU(m.bind)
+	kc.fbind = cloneIU(m.fbind)
+}
+
+// writtenFSlots is WrittenSlots for float scalars.
+func writtenFSlots(body []ir.Stmt, dst map[int]bool) map[int]bool {
+	if dst == nil {
+		dst = map[int]bool{}
+	}
+	for _, s := range body {
+		switch x := s.(type) {
+		case ir.SetScalarF:
+			dst[x.Slot] = true
+		case *ir.Loop:
+			writtenFSlots(x.Body, dst)
+		case ir.If:
+			writtenFSlots(x.Then, dst)
+			writtenFSlots(x.Else, dst)
+		}
+	}
+	return dst
+}
+
+// ---- statements ----------------------------------------------------------
+
+func (kc *kcompiler) stmts(list []ir.Stmt) {
+	for _, s := range list {
+		if kc.oc.err != nil || kc.overflow {
+			return
+		}
+		kc.stmt(s)
+	}
+}
+
+func (kc *kcompiler) stmt(s ir.Stmt) {
+	oc := kc.oc
+	switch x := s.(type) {
+	case *ir.Loop:
+		kc.loop(x)
+	case ir.AssignF:
+		_, acost := oc.addr(x.Arr, x.Idx)
+		_, rcost := oc.fexpr(x.RHS)
+		if oc.err != nil {
+			return
+		}
+		kc.charge(acost + rcost + costStore)
+		rv := kc.fexpr(x.RHS) // RHS first, exactly like the oracle
+		kc.storeF(x.Arr, x.Idx, rv)
+	case ir.AssignI:
+		_, acost := oc.addr(x.Arr, x.Idx)
+		_, rcost := oc.iexpr(x.RHS)
+		if oc.err != nil {
+			return
+		}
+		kc.charge(acost + rcost + costStore)
+		rv := kc.iexpr(x.RHS)
+		kc.storeI(x.Arr, x.Idx, rv)
+	case ir.SetScalarF:
+		kc.setScalarF(x)
+	case ir.SetScalarI:
+		_, rcost := oc.iexpr(x.RHS)
+		if oc.err != nil {
+			return
+		}
+		kc.charge(rcost + costArith)
+		r := kc.iexpr(x.RHS)
+		kc.emit(kinstr{op: opSetSlot, a: r, imm: int64(x.Slot)})
+		kc.invalidateSlot(x.Slot)
+		kc.bind[x.Slot] = r
+	case ir.If:
+		kc.ifStmt(x)
+	case ir.Prefetch:
+		kc.hint(s, x.Arr, x.Idx, x.Pages, nil, nil, nil)
+	case ir.Release:
+		kc.hint(s, nil, nil, nil, x.Arr, x.Idx, x.Pages)
+	case ir.PrefetchRelease:
+		kc.hint(s, x.PfArr, x.PfIdx, x.PfPages, x.RelArr, x.RelIdx, x.RelPages)
+	default:
+		oc.fail("unknown statement %T", s)
+	}
+}
+
+func (kc *kcompiler) ifStmt(x ir.If) {
+	_, ccost := kc.oc.bexpr(x.Cond)
+	if kc.oc.err != nil {
+		return
+	}
+	kc.charge(ccost + costArith)
+	lEnd := kc.newLabel()
+	if len(x.Else) == 0 {
+		kc.condJump(x.Cond, lEnd, false)
+		condSnap := kc.snapshot() // valid at both successors
+		kc.stmts(x.Then)
+		kc.flush()
+		kc.mark(lEnd)
+		kc.restore(condSnap)
+	} else {
+		lElse := kc.newLabel()
+		kc.condJump(x.Cond, lElse, false)
+		condSnap := kc.snapshot()
+		kc.stmts(x.Then)
+		kc.flush()
+		kc.emit(kinstr{op: opJump, imm: int64(lEnd)})
+		kc.mark(lElse)
+		kc.restore(condSnap)
+		kc.stmts(x.Else)
+		kc.flush()
+		kc.mark(lEnd)
+		kc.restore(condSnap)
+	}
+	// At the join only facts that survived BOTH paths hold: drop anything
+	// either branch may have written.
+	wr := ir.WrittenSlots(x.Then, nil)
+	wr = ir.WrittenSlots(x.Else, wr)
+	for s := range wr {
+		kc.invalidateSlot(s)
+	}
+	fw := writtenFSlots(x.Then, nil)
+	fw = writtenFSlots(x.Else, fw)
+	for s := range fw {
+		delete(kc.fbind, s)
+	}
+}
+
+func (kc *kcompiler) setScalarF(x ir.SetScalarF) {
+	oc := kc.oc
+	_, rcost := oc.fexpr(x.RHS)
+	if oc.err != nil {
+		return
+	}
+	kc.charge(rcost + costArith)
+	slot := x.Slot
+	if add, ok := x.RHS.(ir.FBin); ok && add.Op == ir.FAdd {
+		if sc, ok := add.A.(ir.FScalar); ok && sc.Slot == slot {
+			// s = s + ... : the scalar read moves from before the addend's
+			// evaluation to after it, which is exact — float expressions
+			// cannot write float slots.
+			if mul, ok := add.B.(ir.FBin); ok && mul.Op == ir.FMul {
+				if kc.tryFAccDot(slot, mul) {
+					return
+				}
+				p := kc.fexpr(mul.A)
+				q := kc.fexpr(mul.B)
+				kc.emit(kinstr{op: opFAccM, a: p, b: q, imm: int64(slot)})
+				delete(kc.fbind, slot)
+				return
+			}
+			r := kc.fexpr(add.B)
+			kc.emit(kinstr{op: opFAcc, a: r, imm: int64(slot)})
+			delete(kc.fbind, slot)
+			return
+		}
+	}
+	r := kc.fexpr(x.RHS)
+	kc.emit(kinstr{op: opSetF, a: r, imm: int64(slot)})
+	kc.fbind[slot] = r
+}
+
+// tryFAccDot recognizes s = s + A[t] * X[C[t]] over 1-D arrays with a
+// pure shared subscript — the sparse dot-product step — and emits the
+// fused kernel. The subscript is evaluated once instead of twice, which
+// is exact because it is pure.
+func (kc *kcompiler) tryFAccDot(slot int, mul ir.FBin) bool {
+	la, isA := mul.A.(ir.FLoad)
+	lx, isX := mul.B.(ir.FLoad)
+	if !isA || !isX || len(la.Idx) != 1 || len(lx.Idx) != 1 ||
+		len(la.Arr.Strides) != 1 || len(lx.Arr.Strides) != 1 {
+		return false
+	}
+	ld, isLd := lx.Idx[0].(ir.ILoad)
+	if !isLd || len(ld.Idx) != 1 || len(ld.Arr.Strides) != 1 {
+		return false
+	}
+	if !ir.PureIExpr(la.Idx[0]) || keyI(la.Idx[0]) != keyI(ld.Idx[0]) {
+		return false
+	}
+	t := kc.iexpr(la.Idx[0])
+	h := hintAux{
+		aBase: la.Arr.Base, aDim: la.Arr.Dims[0], aRef: kc.auxFor(la.Arr, 0),
+		cBase: ld.Arr.Base, cDim: ld.Arr.Dims[0], cRef: kc.auxFor(ld.Arr, 0),
+		xBase: lx.Arr.Base, xDim: lx.Arr.Dims[0], xRef: kc.auxFor(lx.Arr, 0),
+	}
+	kc.emit(kinstr{op: opFAccDot, dst: uint16(slot), a: t, b: kc.hauxAdd(h), imm: kc.takePending()})
+	delete(kc.fbind, slot)
+	return true
+}
+
+// ---- loops ---------------------------------------------------------------
+
+func (kc *kcompiler) loop(l *ir.Loop) {
+	oc := kc.oc
+	if l.Step <= 0 {
+		oc.fail("loop %s has non-positive step %d", l.Var, l.Step)
+		return
+	}
+	lo, locost := oc.iexpr(l.Lo)
+	hi, hicost := oc.iexpr(l.Hi)
+	head := locost + hicost
+	if oc.err != nil {
+		return
+	}
+	depth := len(kc.loops)
+	before := oc.nSites
+	if fn, ok := oc.fastLoop(l, lo, hi, head); ok {
+		// Page-run span driver: embed it whole. It charges its own head
+		// and per-iteration costs and writes slots directly.
+		kc.flush()
+		kc.emit(kinstr{op: opCall, b: kc.addCall(fn)})
+		for s := range ir.WrittenSlots(l.Body, map[int]bool{l.Slot: true}) {
+			kc.invalidateSlot(s)
+		}
+		for s := range writtenFSlots(l.Body, nil) {
+			delete(kc.fbind, s)
+		}
+		kc.reports = append(kc.reports, LoopReport{
+			Var: l.Var, Depth: depth, Driver: "page-run", Sites: oc.nSites - before})
+		return
+	}
+	kc.reports = append(kc.reports, LoopReport{
+		Var: l.Var, Depth: depth, Driver: "kernel",
+		Reason: classifyLoop(l, oc.pageWords)})
+
+	kc.charge(head)
+	rh := kc.iexpr(l.Hi) // runtime order: hi before lo, like the oracle
+	rlo := kc.iexpr(l.Lo)
+	rv := kc.iReg()
+	kc.emit(kinstr{op: opIMove, dst: rv, a: rlo})
+	kc.flush()
+
+	ctx := &kloop{
+		slot:     l.Slot,
+		written:  ir.WrittenSlots(l.Body, nil),
+		fwritten: writtenFSlots(l.Body, nil),
+		hoistCse: map[string]uint16{},
+	}
+	snap := kc.snapshot()
+	for s := range ctx.written {
+		kc.invalidateSlot(s)
+	}
+	kc.invalidateSlot(l.Slot)
+	for s := range ctx.fwritten {
+		delete(kc.fbind, s)
+	}
+	kc.bind[l.Slot] = rv
+	kc.loops = append(kc.loops, ctx)
+
+	var bodyBuf []kinstr
+	saved := kc.buf
+	kc.buf = &bodyBuf
+	kc.pending = costLoop
+	kc.stmts(l.Body)
+	kc.flush()
+	kc.buf = saved
+	kc.loops = kc.loops[:depth]
+
+	// Layout: the preheader stores the first induction value; the back
+	// edge (opLoopEndS) stores every subsequent one, so the loop top
+	// costs zero extra dispatches per iteration.
+	lTop, lEnd := kc.newLabel(), kc.newLabel()
+	*kc.buf = append(*kc.buf, ctx.hoist...)
+	kc.emit(kinstr{op: opJumpGeI, a: rv, b: rh, imm: int64(lEnd)})
+	kc.emit(kinstr{op: opSetSlot, a: rv, imm: int64(l.Slot)})
+	kc.mark(lTop)
+	*kc.buf = append(*kc.buf, bodyBuf...)
+	kc.emit(kinstr{op: opLoopEndS, dst: rv, a: uint16(l.Slot), b: rh, imm: l.Step, imm2: int64(lTop)})
+	kc.mark(lEnd)
+
+	kc.restore(snap)
+	for s := range ctx.written {
+		kc.invalidateSlot(s)
+	}
+	kc.invalidateSlot(l.Slot)
+	for s := range ctx.fwritten {
+		delete(kc.fbind, s)
+	}
+}

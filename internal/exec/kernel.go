@@ -1,0 +1,602 @@
+// The kernel machine: a flat bytecode interpreter for whole loop nests.
+//
+// The nest compiler (kcompile.go) lowers the entire program body — outer
+// loops included — into one linear instruction slice. The steady-state
+// cost of an iteration is then a handful of switch dispatches over
+// 32-byte instructions instead of a closure call per IR node, and array
+// accesses go through the VM's inlinable hot probes (LoadFast/StoreFast)
+// with the ordinary faulting path only on the miss branch.
+//
+// Tick-exactness is the design constraint, not a best effort: simulated
+// time advances only at kernel crossings (faults and hint system calls),
+// and user-op charges are a plain pending sum folded in at the next
+// crossing. The compiler may therefore merge static charges and move
+// them across instructions that cannot fault, but never across one that
+// can — the pending sum every crossing observes must equal the closure
+// interpreter's. The closure tree (exec.go) is kept byte-for-byte as the
+// differential oracle behind Options.NoFastPath, and the harness
+// equivalence suite holds the two executions to identical fingerprints,
+// tick counts, and fault statistics.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// irCmpOp extracts the comparison operator packed by cmpSense.
+func irCmpOp(d uint16) ir.CmpOp { return ir.CmpOp(d & 0xff) }
+
+// kop is a kernel opcode.
+type kop uint8
+
+const (
+	opNop kop = iota
+
+	// accounting / control
+	opCharge   // vm.AddUserOps(imm)
+	opJump     // pc = imm
+	opJumpGeI  // if ri[a] >= ri[b]: pc = imm   (loop entry guard)
+	opLoopEnd  // ri[dst] += imm; if ri[dst] < ri[b]: pc = imm2
+	opLoopEndS // opLoopEnd that also stores Ints[a] = ri[dst] on the back edge
+	opJCmpI    // if cmpI(op(dst), ri[a], ri[b]) == sense(dst): pc = imm
+	opJCmpF    // same over rf
+	opCall     // m.calls[b](e)   (closure fallback / page-run driver)
+	opSetSlot  // Ints[imm] = ri[a]
+	opSetSlotC // Ints[imm] = ri[a]; vm.AddUserOps(imm2)
+
+	// integer ALU
+	opIMove // ri[dst] = ri[a]
+	opIConst
+	opISlot // ri[dst] = Ints[imm]
+	opIAdd
+	opISub
+	opIMul
+	opIDiv
+	opIMod
+	opIShl
+	opIShr
+	opIMin
+	opIMax
+	opIAddImm // ri[dst] = ri[a] + imm
+	opIMulImm // ri[dst] = ri[a] * imm
+	opIFromF  // ri[dst] = int64(rf[a])
+	opIdx3    // ri[dst] = ri[imm2] + min(ri[a]+imm, ri[b])  (fused hint subscript)
+
+	// float ALU
+	opFConst // rf[dst] = frombits(imm)
+	opFSlot  // rf[dst] = Floats[imm]
+	opSetF   // Floats[imm] = rf[a]
+	opFAcc   // Floats[imm] += rf[a]
+	opFAccM  // Floats[imm] += rf[a] * rf[b]
+	opFAdd
+	opFSub
+	opFMul
+	opFDiv
+	opFMin
+	opFMax
+	opFNeg
+	opFromI // rf[dst] = float64(ri[a])
+	opSqrt
+	opAbs
+	opLog
+	opExp
+	opSin
+	opCos
+	opPow
+	opRandlc
+
+	// memory: 1-D fused address+check+access (imm = array base,
+	// imm2 = dim extent, a = index reg, b = auxDim for the panic path)
+	opLoadF1
+	opLoadI1
+	opStoreF1 // value in rf[dst]
+	opStoreI1 // value in ri[dst]
+	// memory: N-D — per-dim checked accumulation into a linear index
+	// reg, then access at base+li*8
+	opIdx0   // ri[dst] = check(ri[a]) * imm      (first dim; imm = stride)
+	opIdxAcc // ri[dst] += check(ri[a]) * imm
+	opLoadFA // rf[dst] = load(imm + ri[a]<<3)
+	opLoadIA
+	opStoreFA // store(imm + ri[a]<<3, rf[dst])
+	opStoreIA
+
+	// hints
+	opHintPage // ri[dst] = (imm + clamp(ri[a], [0,imm2))<<3) >> pageShift
+	opHintN    // n=ri[a], p=ri[b]; if p+n-1 > imm: n = imm-p+1; ri[dst]=n
+	opHint     // pp=ri[a] pn=ri[b] rp=ri[dst] rn=ri[imm]: oracle dispatch
+	opHint1    // rt.Prefetch1(ri[a])
+
+	// fused template kernels (haux[b] describes the arrays)
+	opHintLoad1 // charge imm; li = addrArr[ri[a]] (checked); clamped single/short prefetch
+	opFAccDot   // charge imm; Floats[dst] += A[ri[a]] * X[C[ri[a]]] (all checked)
+	opFAccDot2  // opFAccDot with a two-register subscript ri[a] + ri[imm2]
+	opHintIdx3  // opHintLoad1 with subscript ri[dst] + min(ri[a]+h.dist, ri[imm2])
+	opDotLoop   // whole [opHintIdx3][opFAccDot2][opLoopEndS] loop as one dispatch
+
+	// opLabel is a compile-time jump-target marker (imm = label id). It
+	// survives buffer splicing — positions are only fixed when assemble
+	// strips the markers and patches the jumps — and never reaches runK.
+	opLabel
+)
+
+// kinstr is one kernel instruction. Jump targets hold label ids until
+// kcompiler.assemble patches them to absolute pcs.
+type kinstr struct {
+	op        kop
+	dst, a, b uint16
+	imm, imm2 int64
+}
+
+// auxDim carries the cold-path context for one (array, dimension) bounds
+// check: everything needed to reproduce the oracle's panic text.
+type auxDim struct {
+	name string
+	dim  int64
+	d    int
+}
+
+// hintAux describes the arrays of a fused template kernel. For
+// opHintLoad1, c* is the 1-D address array and x* the prefetched array;
+// for opFAccDot, a* is the dense operand, c* the index array, x* the
+// indirectly loaded operand.
+type hintAux struct {
+	aBase, aDim int64
+	aRef        int
+	cBase, cDim int64
+	cRef        int
+	xBase, xDim int64
+	xRef        int
+	lastPage    int64 // last page of x, for the n>1 prefetch clamp
+	pages       int64 // compile-time page count of the prefetch
+	dist        int64 // opHintIdx3's fused subscript displacement
+}
+
+func (m *Machine) panicIdx(ref int, v int64) {
+	a := &m.aux[ref]
+	panic(fmt.Sprintf("exec: %s subscript %d out of range [0,%d) in dim %d", a.name, v, a.dim, a.d))
+}
+
+// cmpSense packs a CmpOp and a jump sense into a kinstr dst field.
+func cmpSense(op ir.CmpOp, jumpIfTrue bool) uint16 {
+	s := uint16(op)
+	if jumpIfTrue {
+		s |= 1 << 8
+	}
+	return s
+}
+
+// runK executes the machine's kernel code against e. The interpreter is
+// one flat loop; every case stays small enough that the hot ops compile
+// to a load, a switch, and a few machine instructions.
+func (m *Machine) runK(e *Env) {
+	code := m.code
+	v := e.vm
+	ints := e.Ints
+	floats := e.Floats
+	ri := e.ri
+	rf := e.rf
+	shift := m.pageShift
+	for pc := 0; pc < len(code); {
+		in := &code[pc]
+		pc++
+		switch in.op {
+		case opCharge:
+			v.AddUserOps(in.imm)
+		case opJump:
+			pc = int(in.imm)
+		case opJumpGeI:
+			if ri[in.a] >= ri[in.b] {
+				pc = int(in.imm)
+			}
+		case opLoopEnd:
+			x := ri[in.dst] + in.imm
+			ri[in.dst] = x
+			if x < ri[in.b] {
+				pc = int(in.imm2)
+			}
+		case opLoopEndS:
+			// The induction-slot store rides the back edge (the preheader
+			// stored the first value): between the back edge and the next
+			// body instruction nothing executes, so the slot is updated at
+			// an indistinguishable point.
+			x := ri[in.dst] + in.imm
+			ri[in.dst] = x
+			if x < ri[in.b] {
+				ints[in.a] = x
+				pc = int(in.imm2)
+			}
+		case opJCmpI:
+			if cmpI(irCmpOp(in.dst), ri[in.a], ri[in.b]) == (in.dst&(1<<8) != 0) {
+				pc = int(in.imm)
+			}
+		case opJCmpF:
+			if cmpF(irCmpOp(in.dst), rf[in.a], rf[in.b]) == (in.dst&(1<<8) != 0) {
+				pc = int(in.imm)
+			}
+		case opCall:
+			m.calls[in.b](e)
+		case opSetSlot:
+			ints[in.imm] = ri[in.a]
+		case opSetSlotC:
+			ints[in.imm] = ri[in.a]
+			v.AddUserOps(in.imm2)
+
+		case opIMove:
+			ri[in.dst] = ri[in.a]
+		case opIConst:
+			ri[in.dst] = in.imm
+		case opISlot:
+			ri[in.dst] = ints[in.imm]
+		case opIAdd:
+			ri[in.dst] = ri[in.a] + ri[in.b]
+		case opISub:
+			ri[in.dst] = ri[in.a] - ri[in.b]
+		case opIMul:
+			ri[in.dst] = ri[in.a] * ri[in.b]
+		case opIDiv:
+			ri[in.dst] = ri[in.a] / ri[in.b]
+		case opIMod:
+			ri[in.dst] = ri[in.a] % ri[in.b]
+		case opIShl:
+			ri[in.dst] = ri[in.a] << uint(ri[in.b])
+		case opIShr:
+			ri[in.dst] = ri[in.a] >> uint(ri[in.b])
+		case opIMin:
+			x, y := ri[in.a], ri[in.b]
+			if y < x {
+				x = y
+			}
+			ri[in.dst] = x
+		case opIMax:
+			x, y := ri[in.a], ri[in.b]
+			if y > x {
+				x = y
+			}
+			ri[in.dst] = x
+		case opIAddImm:
+			ri[in.dst] = ri[in.a] + in.imm
+		case opIMulImm:
+			ri[in.dst] = ri[in.a] * in.imm
+		case opIFromF:
+			ri[in.dst] = int64(rf[in.a])
+		case opIdx3:
+			x := ri[in.a] + in.imm
+			if y := ri[in.b]; y < x {
+				x = y
+			}
+			ri[in.dst] = ri[in.imm2] + x
+
+		case opFConst:
+			rf[in.dst] = math.Float64frombits(uint64(in.imm))
+		case opFSlot:
+			rf[in.dst] = floats[in.imm]
+		case opSetF:
+			floats[in.imm] = rf[in.a]
+		case opFAcc:
+			floats[in.imm] += rf[in.a]
+		case opFAccM:
+			floats[in.imm] += rf[in.a] * rf[in.b]
+		case opFAdd:
+			rf[in.dst] = rf[in.a] + rf[in.b]
+		case opFSub:
+			rf[in.dst] = rf[in.a] - rf[in.b]
+		case opFMul:
+			rf[in.dst] = rf[in.a] * rf[in.b]
+		case opFDiv:
+			rf[in.dst] = rf[in.a] / rf[in.b]
+		case opFMin:
+			// Mirror the oracle's `x < y ? x : y` exactly, NaN included:
+			// when the comparison is false the RIGHT operand is the result.
+			x, y := rf[in.a], rf[in.b]
+			if !(x < y) {
+				x = y
+			}
+			rf[in.dst] = x
+		case opFMax:
+			x, y := rf[in.a], rf[in.b]
+			if !(x > y) {
+				x = y
+			}
+			rf[in.dst] = x
+		case opFNeg:
+			rf[in.dst] = -rf[in.a]
+		case opFromI:
+			rf[in.dst] = float64(ri[in.a])
+		case opSqrt:
+			rf[in.dst] = math.Sqrt(rf[in.a])
+		case opAbs:
+			rf[in.dst] = math.Abs(rf[in.a])
+		case opLog:
+			rf[in.dst] = math.Log(rf[in.a])
+		case opExp:
+			rf[in.dst] = math.Exp(rf[in.a])
+		case opSin:
+			rf[in.dst] = math.Sin(rf[in.a])
+		case opCos:
+			rf[in.dst] = math.Cos(rf[in.a])
+		case opPow:
+			rf[in.dst] = math.Pow(rf[in.a], rf[in.b])
+		case opRandlc:
+			rf[in.dst] = e.randlc()
+
+		case opLoadF1:
+			ix := ri[in.a]
+			if ix < 0 || ix >= in.imm2 {
+				m.panicIdx(int(in.b), ix)
+			}
+			addr := in.imm + ix<<3
+			w, ok := v.LoadFast(addr)
+			if !ok {
+				w = v.Load(addr)
+			}
+			rf[in.dst] = math.Float64frombits(w)
+		case opLoadI1:
+			ix := ri[in.a]
+			if ix < 0 || ix >= in.imm2 {
+				m.panicIdx(int(in.b), ix)
+			}
+			addr := in.imm + ix<<3
+			w, ok := v.LoadFast(addr)
+			if !ok {
+				w = v.Load(addr)
+			}
+			ri[in.dst] = int64(w)
+		case opStoreF1:
+			ix := ri[in.a]
+			if ix < 0 || ix >= in.imm2 {
+				m.panicIdx(int(in.b), ix)
+			}
+			addr := in.imm + ix<<3
+			if !v.StoreFast(addr, math.Float64bits(rf[in.dst])) {
+				v.Store(addr, math.Float64bits(rf[in.dst]))
+			}
+		case opStoreI1:
+			ix := ri[in.a]
+			if ix < 0 || ix >= in.imm2 {
+				m.panicIdx(int(in.b), ix)
+			}
+			addr := in.imm + ix<<3
+			if !v.StoreFast(addr, uint64(ri[in.dst])) {
+				v.Store(addr, uint64(ri[in.dst]))
+			}
+
+		case opIdx0:
+			x := ri[in.a]
+			if x < 0 || x >= in.imm2 {
+				m.panicIdx(int(in.b), x)
+			}
+			ri[in.dst] = x * in.imm
+		case opIdxAcc:
+			x := ri[in.a]
+			if x < 0 || x >= in.imm2 {
+				m.panicIdx(int(in.b), x)
+			}
+			ri[in.dst] += x * in.imm
+		case opLoadFA:
+			addr := in.imm + ri[in.a]<<3
+			w, ok := v.LoadFast(addr)
+			if !ok {
+				w = v.Load(addr)
+			}
+			rf[in.dst] = math.Float64frombits(w)
+		case opLoadIA:
+			addr := in.imm + ri[in.a]<<3
+			w, ok := v.LoadFast(addr)
+			if !ok {
+				w = v.Load(addr)
+			}
+			ri[in.dst] = int64(w)
+		case opStoreFA:
+			addr := in.imm + ri[in.a]<<3
+			if !v.StoreFast(addr, math.Float64bits(rf[in.dst])) {
+				v.Store(addr, math.Float64bits(rf[in.dst]))
+			}
+		case opStoreIA:
+			addr := in.imm + ri[in.a]<<3
+			if !v.StoreFast(addr, uint64(ri[in.dst])) {
+				v.Store(addr, uint64(ri[in.dst]))
+			}
+
+		case opHintPage:
+			li := ri[in.a]
+			if li < 0 {
+				li = 0
+			}
+			if li >= in.imm2 {
+				li = in.imm2 - 1
+			}
+			ri[in.dst] = (in.imm + li<<3) >> shift
+		case opHintN:
+			n := ri[in.a]
+			if p := ri[in.b]; p+n-1 > in.imm {
+				n = in.imm - p + 1
+			}
+			ri[in.dst] = n
+		case opHint:
+			pp, pn := ri[in.a], ri[in.b]
+			rp, rn := ri[in.dst], ri[in.imm]
+			switch {
+			case pn > 0 && rn > 0:
+				e.rt.PrefetchRelease(pp, pn, rp, rn)
+			case pn > 0:
+				e.rt.Prefetch(pp, pn)
+			case rn > 0:
+				e.rt.Release(rp, rn)
+			}
+		case opHint1:
+			e.rt.Prefetch1(ri[in.a])
+
+		case opDotLoop:
+			// The fused sparse-dot loop: fuseDotLoop proved the loop body
+			// is exactly this instruction (an opHintIdx3) followed by an
+			// opFAccDot2 and the opLoopEndS back edge, with no other jump
+			// into the body and every operand register except the
+			// induction register loop-invariant. The per-iteration
+			// sequence below replays the three cases verbatim, in order,
+			// with the invariant decodes hoisted out of the loop.
+			in2 := &code[pc]
+			in3 := &code[pc+1]
+			pc += 2
+			h := &m.haux[in.b]
+			h2 := &m.haux[in2.b]
+			rt := e.rt
+			kr := in3.dst
+			base := ri[in.dst]
+			capv := ri[uint16(in.imm2)]
+			rowOff := ri[in2.a]
+			if in2.a == kr {
+				rowOff = ri[uint16(in2.imm2)]
+			}
+			fs := in2.dst
+			acc := floats[fs]
+			k := ri[kr]
+			hiK := ri[in3.b]
+			step := in3.imm
+			slot := in3.a
+			hc, dc := in.imm, in2.imm
+			for {
+				// ---- opHintIdx3 ----
+				v.AddUserOps(hc)
+				x := k + h.dist
+				if capv < x {
+					x = capv
+				}
+				ix := base + x
+				if ix < 0 || ix >= h.cDim {
+					m.panicIdx(h.cRef, ix)
+				}
+				addr := h.cBase + ix<<3
+				w, ok := v.LoadFast(addr)
+				if !ok {
+					w = v.Load(addr)
+				}
+				li := int64(w)
+				if li < 0 {
+					li = 0
+				}
+				if li >= h.xDim {
+					li = h.xDim - 1
+				}
+				page := (h.xBase + li<<3) >> shift
+				n := h.pages
+				if page+n-1 > h.lastPage {
+					n = h.lastPage - page + 1
+				}
+				if n == 1 {
+					rt.Prefetch1(page)
+				} else {
+					rt.Prefetch(page, n)
+				}
+				// ---- opFAccDot2 ----
+				v.AddUserOps(dc)
+				ix = rowOff + k
+				if ix < 0 || ix >= h2.aDim {
+					m.panicIdx(h2.aRef, ix)
+				}
+				addr = h2.aBase + ix<<3
+				wa, oka := v.LoadFast(addr)
+				if !oka {
+					wa = v.Load(addr)
+				}
+				if ix >= h2.cDim {
+					m.panicIdx(h2.cRef, ix)
+				}
+				addr = h2.cBase + ix<<3
+				wc, okc := v.LoadFast(addr)
+				if !okc {
+					wc = v.Load(addr)
+				}
+				li = int64(wc)
+				if li < 0 || li >= h2.xDim {
+					m.panicIdx(h2.xRef, li)
+				}
+				addr = h2.xBase + li<<3
+				wx, okx := v.LoadFast(addr)
+				if !okx {
+					wx = v.Load(addr)
+				}
+				acc += math.Float64frombits(wa) * math.Float64frombits(wx)
+				floats[fs] = acc
+				// ---- opLoopEndS ----
+				k += step
+				if k >= hiK {
+					break
+				}
+				ints[slot] = k
+			}
+			ri[kr] = k
+		case opHintLoad1, opHintIdx3:
+			h := &m.haux[in.b]
+			v.AddUserOps(in.imm)
+			ix := ri[in.a]
+			if in.op == opHintIdx3 {
+				x := ix + h.dist
+				if y := ri[uint16(in.imm2)]; y < x {
+					x = y
+				}
+				ix = ri[in.dst] + x
+			}
+			if ix < 0 || ix >= h.cDim {
+				m.panicIdx(h.cRef, ix)
+			}
+			addr := h.cBase + ix<<3
+			w, ok := v.LoadFast(addr)
+			if !ok {
+				w = v.Load(addr)
+			}
+			li := int64(w)
+			if li < 0 {
+				li = 0
+			}
+			if li >= h.xDim {
+				li = h.xDim - 1
+			}
+			page := (h.xBase + li<<3) >> shift
+			n := h.pages
+			if page+n-1 > h.lastPage {
+				n = h.lastPage - page + 1
+			}
+			if n == 1 {
+				e.rt.Prefetch1(page)
+			} else {
+				e.rt.Prefetch(page, n)
+			}
+		case opFAccDot, opFAccDot2:
+			h := &m.haux[in.b]
+			v.AddUserOps(in.imm)
+			ix := ri[in.a]
+			if in.op == opFAccDot2 {
+				ix += ri[uint16(in.imm2)]
+			}
+			if ix < 0 || ix >= h.aDim {
+				m.panicIdx(h.aRef, ix)
+			}
+			addr := h.aBase + ix<<3
+			wa, ok := v.LoadFast(addr)
+			if !ok {
+				wa = v.Load(addr)
+			}
+			if ix >= h.cDim {
+				m.panicIdx(h.cRef, ix)
+			}
+			addr = h.cBase + ix<<3
+			wc, ok2 := v.LoadFast(addr)
+			if !ok2 {
+				wc = v.Load(addr)
+			}
+			li := int64(wc)
+			if li < 0 || li >= h.xDim {
+				m.panicIdx(h.xRef, li)
+			}
+			addr = h.xBase + li<<3
+			wx, ok3 := v.LoadFast(addr)
+			if !ok3 {
+				wx = v.Load(addr)
+			}
+			floats[in.dst] += math.Float64frombits(wa) * math.Float64frombits(wx)
+		}
+	}
+}

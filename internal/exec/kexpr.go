@@ -1,0 +1,557 @@
+// Expression lowering, hint lowering, and final assembly for the nest
+// compiler (kcompile.go).
+package exec
+
+import (
+	"repro/internal/ir"
+)
+
+// ---- integer expressions -------------------------------------------------
+
+func (kc *kcompiler) iexpr(x ir.IExpr) uint16 {
+	if kc.oc.err != nil || kc.overflow {
+		return 0
+	}
+	switch e := x.(type) {
+	case ir.IConst:
+		return kc.iconstReg(e.Val)
+	case ir.ISlot:
+		if r, ok := kc.bind[e.Slot]; ok {
+			return r
+		}
+		r := kc.iReg()
+		kc.emit(kinstr{op: opISlot, dst: r, imm: int64(e.Slot)})
+		kc.bind[e.Slot] = r
+		return r
+	case ir.IBin:
+		if v, ok := ir.ConstFold(e); ok {
+			return kc.iconstReg(v)
+		}
+		if ir.PureIExpr(e) {
+			k := keyI(e)
+			if r, ok := kc.lookupCse(k); ok {
+				return r
+			}
+			if r, ok := kc.tryHoist(e, k); ok {
+				return r
+			}
+			r := kc.compileIBin(e)
+			kc.cse[k] = r
+			kc.cseDep[k] = slotsOf(e)
+			return r
+		}
+		return kc.compileIBin(e)
+	case ir.ILoad:
+		return kc.loadI(e.Arr, e.Idx)
+	case ir.IFromF:
+		f := kc.fexpr(e.X)
+		r := kc.iReg()
+		kc.emit(kinstr{op: opIFromF, dst: r, a: f})
+		return r
+	}
+	// the oracle's cost pass has already recorded the failure
+	return 0
+}
+
+// lookupCse checks the local table, then hoisted invariants of every
+// enclosing loop (their code dominates the current position).
+func (kc *kcompiler) lookupCse(k string) (uint16, bool) {
+	if r, ok := kc.cse[k]; ok {
+		return r, true
+	}
+	for i := len(kc.loops) - 1; i >= 0; i-- {
+		if r, ok := kc.loops[i].hoistCse[k]; ok {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// tryHoist moves a pure, trap-free expression that no written slot feeds
+// into the innermost enclosing loop's preamble. Hoisted code runs even
+// for zero-trip loops, which is unobservable: it is pure ALU into fresh
+// registers and carries no charge.
+func (kc *kcompiler) tryHoist(e ir.IBin, k string) (uint16, bool) {
+	if len(kc.loops) == 0 || ir.MayTrapIExpr(e) {
+		return 0, false
+	}
+	ctx := kc.loops[len(kc.loops)-1]
+	dep := false
+	ir.IExprSlots(e, func(s int) {
+		if s == ctx.slot || ctx.written[s] {
+			dep = true
+		}
+	})
+	if dep {
+		return 0, false
+	}
+	if r, ok := ctx.hoistCse[k]; ok {
+		return r, true
+	}
+	r := kc.compileHoisted(e, ctx)
+	ctx.hoistCse[k] = r
+	return r, true
+}
+
+// compileHoisted emits a pure expression into ctx.hoist using only the
+// constant pool and ctx's own table — never body-context bindings, which
+// the preamble would execute before.
+func (kc *kcompiler) compileHoisted(x ir.IExpr, ctx *kloop) uint16 {
+	switch e := x.(type) {
+	case ir.IConst:
+		return kc.iconstReg(e.Val)
+	case ir.ISlot:
+		k := keyI(e)
+		if r, ok := ctx.hoistCse[k]; ok {
+			return r
+		}
+		r := kc.iReg()
+		ctx.hoist = append(ctx.hoist, kinstr{op: opISlot, dst: r, imm: int64(e.Slot)})
+		ctx.hoistCse[k] = r
+		return r
+	case ir.IBin:
+		if v, ok := ir.ConstFold(e); ok {
+			return kc.iconstReg(v)
+		}
+		k := keyI(e)
+		if r, ok := ctx.hoistCse[k]; ok {
+			return r
+		}
+		a := kc.compileHoisted(e.A, ctx)
+		b := kc.compileHoisted(e.B, ctx)
+		r := kc.iReg()
+		op, ok := ibinOp(e.Op)
+		if !ok {
+			return 0
+		}
+		ctx.hoist = append(ctx.hoist, kinstr{op: op, dst: r, a: a, b: b})
+		ctx.hoistCse[k] = r
+		return r
+	}
+	return 0 // unreachable: callers check PureIExpr
+}
+
+func ibinOp(op ir.IBinOp) (kop, bool) {
+	switch op {
+	case ir.IAdd:
+		return opIAdd, true
+	case ir.ISub:
+		return opISub, true
+	case ir.IMul:
+		return opIMul, true
+	case ir.IDiv:
+		return opIDiv, true
+	case ir.IMod:
+		return opIMod, true
+	case ir.IShl:
+		return opIShl, true
+	case ir.IShr:
+		return opIShr, true
+	case ir.IMin:
+		return opIMin, true
+	case ir.IMax:
+		return opIMax, true
+	}
+	return opNop, false
+}
+
+func (kc *kcompiler) compileIBin(e ir.IBin) uint16 {
+	// Immediate forms. Folding a constant operand is exact: constants
+	// have no evaluation effects, so operand order is preserved for the
+	// remaining side.
+	if e.Op == ir.IAdd || e.Op == ir.ISub || e.Op == ir.IMul {
+		if vb, ok := ir.ConstFold(e.B); ok {
+			a := kc.iexpr(e.A)
+			r := kc.iReg()
+			switch e.Op {
+			case ir.IAdd:
+				kc.emit(kinstr{op: opIAddImm, dst: r, a: a, imm: vb})
+			case ir.ISub:
+				kc.emit(kinstr{op: opIAddImm, dst: r, a: a, imm: -vb})
+			case ir.IMul:
+				kc.emit(kinstr{op: opIMulImm, dst: r, a: a, imm: vb})
+			}
+			return r
+		}
+		if va, ok := ir.ConstFold(e.A); ok && e.Op != ir.ISub {
+			b := kc.iexpr(e.B)
+			r := kc.iReg()
+			if e.Op == ir.IAdd {
+				kc.emit(kinstr{op: opIAddImm, dst: r, a: b, imm: va})
+			} else {
+				kc.emit(kinstr{op: opIMulImm, dst: r, a: b, imm: va})
+			}
+			return r
+		}
+	}
+	a := kc.iexpr(e.A)
+	b := kc.iexpr(e.B)
+	op, ok := ibinOp(e.Op)
+	if !ok {
+		return 0 // oracle already failed compilation
+	}
+	r := kc.iReg()
+	kc.emit(kinstr{op: op, dst: r, a: a, b: b})
+	return r
+}
+
+// ---- float expressions ---------------------------------------------------
+
+func (kc *kcompiler) fexpr(x ir.FExpr) uint16 {
+	if kc.oc.err != nil || kc.overflow {
+		return 0
+	}
+	switch e := x.(type) {
+	case ir.FConst:
+		return kc.fconstReg(e.Val)
+	case ir.FScalar:
+		if r, ok := kc.fbind[e.Slot]; ok {
+			return r
+		}
+		r := kc.fReg()
+		kc.emit(kinstr{op: opFSlot, dst: r, imm: int64(e.Slot)})
+		kc.fbind[e.Slot] = r
+		return r
+	case ir.FLoad:
+		return kc.loadF(e.Arr, e.Idx)
+	case ir.FBin:
+		a := kc.fexpr(e.A)
+		b := kc.fexpr(e.B)
+		var op kop
+		switch e.Op {
+		case ir.FAdd:
+			op = opFAdd
+		case ir.FSub:
+			op = opFSub
+		case ir.FMul:
+			op = opFMul
+		case ir.FDiv:
+			op = opFDiv
+		case ir.FMinOp:
+			op = opFMin
+		case ir.FMaxOp:
+			op = opFMax
+		default:
+			return 0
+		}
+		r := kc.fReg()
+		kc.emit(kinstr{op: op, dst: r, a: a, b: b})
+		return r
+	case ir.FNeg:
+		a := kc.fexpr(e.X)
+		r := kc.fReg()
+		kc.emit(kinstr{op: opFNeg, dst: r, a: a})
+		return r
+	case ir.FromInt:
+		a := kc.iexpr(e.X)
+		r := kc.fReg()
+		kc.emit(kinstr{op: opFromI, dst: r, a: a})
+		return r
+	case ir.FCall:
+		return kc.fcall(e)
+	}
+	return 0
+}
+
+func (kc *kcompiler) fcall(e ir.FCall) uint16 {
+	args := make([]uint16, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = kc.fexpr(a)
+	}
+	var op kop
+	want := 1
+	switch e.Fn {
+	case ir.Sqrt:
+		op = opSqrt
+	case ir.Abs:
+		op = opAbs
+	case ir.Log:
+		op = opLog
+	case ir.Exp:
+		op = opExp
+	case ir.Sin:
+		op = opSin
+	case ir.Cos:
+		op = opCos
+	case ir.Pow:
+		op, want = opPow, 2
+	case ir.Randlc:
+		op, want = opRandlc, 0
+	default:
+		return 0
+	}
+	if len(args) != want {
+		return 0 // arity error already recorded by the oracle pass
+	}
+	in := kinstr{op: op, dst: kc.fReg()}
+	if want >= 1 {
+		in.a = args[0]
+	}
+	if want == 2 {
+		in.b = args[1]
+	}
+	kc.emit(in)
+	return in.dst
+}
+
+// ---- memory --------------------------------------------------------------
+
+// linIndexChecked emits the oracle's per-dim evaluate/check/accumulate
+// sequence into one linear-index register.
+func (kc *kcompiler) linIndexChecked(arr *ir.Array, idx []ir.IExpr) uint16 {
+	li := kc.iReg()
+	for d, ix := range idx {
+		r := kc.iexpr(ix)
+		op := opIdxAcc
+		if d == 0 {
+			op = opIdx0
+		}
+		kc.emit(kinstr{op: op, dst: li, a: r, b: uint16(kc.auxFor(arr, d)),
+			imm: arr.Strides[d], imm2: arr.Dims[d]})
+	}
+	return li
+}
+
+func (kc *kcompiler) loadF(arr *ir.Array, idx []ir.IExpr) uint16 {
+	if len(idx) == 1 && len(arr.Strides) == 1 {
+		ix := kc.iexpr(idx[0])
+		kc.flush()
+		r := kc.fReg()
+		kc.emit(kinstr{op: opLoadF1, dst: r, a: ix, b: uint16(kc.auxFor(arr, 0)),
+			imm: arr.Base, imm2: arr.Dims[0]})
+		return r
+	}
+	li := kc.linIndexChecked(arr, idx)
+	kc.flush()
+	r := kc.fReg()
+	kc.emit(kinstr{op: opLoadFA, dst: r, a: li, imm: arr.Base})
+	return r
+}
+
+func (kc *kcompiler) loadI(arr *ir.Array, idx []ir.IExpr) uint16 {
+	if len(idx) == 1 && len(arr.Strides) == 1 {
+		ix := kc.iexpr(idx[0])
+		kc.flush()
+		r := kc.iReg()
+		kc.emit(kinstr{op: opLoadI1, dst: r, a: ix, b: uint16(kc.auxFor(arr, 0)),
+			imm: arr.Base, imm2: arr.Dims[0]})
+		return r
+	}
+	li := kc.linIndexChecked(arr, idx)
+	kc.flush()
+	r := kc.iReg()
+	kc.emit(kinstr{op: opLoadIA, dst: r, a: li, imm: arr.Base})
+	return r
+}
+
+func (kc *kcompiler) storeF(arr *ir.Array, idx []ir.IExpr, val uint16) {
+	if len(idx) == 1 && len(arr.Strides) == 1 {
+		ix := kc.iexpr(idx[0])
+		kc.flush()
+		kc.emit(kinstr{op: opStoreF1, dst: val, a: ix, b: uint16(kc.auxFor(arr, 0)),
+			imm: arr.Base, imm2: arr.Dims[0]})
+		return
+	}
+	li := kc.linIndexChecked(arr, idx)
+	kc.flush()
+	kc.emit(kinstr{op: opStoreFA, dst: val, a: li, imm: arr.Base})
+}
+
+func (kc *kcompiler) storeI(arr *ir.Array, idx []ir.IExpr, val uint16) {
+	if len(idx) == 1 && len(arr.Strides) == 1 {
+		ix := kc.iexpr(idx[0])
+		kc.flush()
+		kc.emit(kinstr{op: opStoreI1, dst: val, a: ix, b: uint16(kc.auxFor(arr, 0)),
+			imm: arr.Base, imm2: arr.Dims[0]})
+		return
+	}
+	li := kc.linIndexChecked(arr, idx)
+	kc.flush()
+	kc.emit(kinstr{op: opStoreIA, dst: val, a: li, imm: arr.Base})
+}
+
+// ---- conditions ----------------------------------------------------------
+
+// condJump emits a short-circuit jump chain: control transfers to target
+// exactly when x evaluates to sense, with operand evaluation order and
+// short-circuiting identical to the oracle's && / ||.
+func (kc *kcompiler) condJump(x ir.BExpr, target int, sense bool) {
+	if kc.oc.err != nil || kc.overflow {
+		return
+	}
+	switch e := x.(type) {
+	case ir.CmpI:
+		a := kc.iexpr(e.A)
+		b := kc.iexpr(e.B)
+		kc.flush()
+		kc.emit(kinstr{op: opJCmpI, dst: cmpSense(e.Op, sense), a: a, b: b, imm: int64(target)})
+	case ir.CmpF:
+		a := kc.fexpr(e.A)
+		b := kc.fexpr(e.B)
+		kc.flush()
+		kc.emit(kinstr{op: opJCmpF, dst: cmpSense(e.Op, sense), a: a, b: b, imm: int64(target)})
+	case ir.And:
+		if sense {
+			skip := kc.newLabel()
+			kc.condJump(e.A, skip, false)
+			kc.condJump(e.B, target, true)
+			kc.mark(skip)
+		} else {
+			kc.condJump(e.A, target, false)
+			kc.condJump(e.B, target, false)
+		}
+	case ir.Or:
+		if sense {
+			kc.condJump(e.A, target, true)
+			kc.condJump(e.B, target, true)
+		} else {
+			skip := kc.newLabel()
+			kc.condJump(e.A, skip, true)
+			kc.condJump(e.B, target, false)
+			kc.mark(skip)
+		}
+	case ir.Not:
+		kc.condJump(e.X, target, !sense)
+	}
+	// unknown BExpr: the oracle's cost pass recorded the failure
+}
+
+// ---- hints ---------------------------------------------------------------
+
+// hintSideSafe reports whether evaluating one hint side's linear index a
+// single time is provably indistinguishable from the oracle's double
+// evaluation: the pages expression must be pure (no crossing between the
+// two index evaluations) and the index may contain at most one load —
+// whose second execution then hits the page the first just touched, with
+// pure subscripts so it reads the same address. Randlc and float state
+// (IFromF) are never safe to elide.
+func hintSideSafe(idx []ir.IExpr, pages ir.IExpr) bool {
+	if !ir.PureIExpr(pages) {
+		return false
+	}
+	loads := 0
+	ok := true
+	var scan func(x ir.IExpr)
+	scan = func(x ir.IExpr) {
+		switch e := x.(type) {
+		case ir.IConst, ir.ISlot:
+		case ir.IBin:
+			scan(e.A)
+			scan(e.B)
+		case ir.ILoad:
+			loads++
+			for _, ix := range e.Idx {
+				if !ir.PureIExpr(ix) {
+					ok = false
+				}
+			}
+		default:
+			ok = false
+		}
+	}
+	for _, ix := range idx {
+		scan(ix)
+	}
+	return ok && loads <= 1
+}
+
+func (kc *kcompiler) hint(s ir.Stmt, pfArr *ir.Array, pfIdx []ir.IExpr, pfPages ir.IExpr,
+	relArr *ir.Array, relIdx []ir.IExpr, relPages ir.IExpr) {
+
+	oc := kc.oc
+	cost := int64(costArith)
+	if pfArr != nil {
+		_, _, k := oc.hintRange(pfArr, pfIdx, pfPages)
+		cost += k
+	}
+	if relArr != nil {
+		_, _, k := oc.hintRange(relArr, relIdx, relPages)
+		cost += k
+	}
+	if oc.err != nil {
+		return
+	}
+	if (pfArr != nil && !hintSideSafe(pfIdx, pfPages)) ||
+		(relArr != nil && !hintSideSafe(relIdx, relPages)) {
+		// Single evaluation not provably exact: run the oracle's closure.
+		// Hint closures write no scalar state, so register facts survive.
+		fn := oc.stmt(s)
+		kc.flush()
+		kc.emit(kinstr{op: opCall, b: kc.addCall(fn)})
+		return
+	}
+	kc.charge(cost)
+
+	// Fused template: constant-page indirect prefetch (a[col[k]] shape),
+	// no release side — one instruction per hint.
+	if relArr == nil && pfArr != nil && len(pfIdx) == 1 && len(pfArr.Strides) == 1 {
+		if n, ok := ir.ConstFold(pfPages); ok && n >= 1 {
+			if ld, isLd := pfIdx[0].(ir.ILoad); isLd && len(ld.Idx) == 1 &&
+				len(ld.Arr.Strides) == 1 && ir.PureIExpr(ld.Idx[0]) {
+				ix := kc.iexpr(ld.Idx[0])
+				h := hintAux{
+					cBase: ld.Arr.Base, cDim: ld.Arr.Dims[0], cRef: kc.auxFor(ld.Arr, 0),
+					xBase: pfArr.Base, xDim: pfArr.Elems,
+					lastPage: (pfArr.Base + pfArr.Elems*ir.ElemSize - 1) >> kc.shift,
+					pages:    n,
+				}
+				kc.emit(kinstr{op: opHintLoad1, a: ix, b: kc.hauxAdd(h), imm: kc.takePending()})
+				return
+			}
+		}
+	}
+
+	// General path: per side, linear index -> clamped page -> clamped
+	// count, then the oracle's dispatch. A clamped single-page prefetch
+	// with no release needs no count register at all: the clamp cannot
+	// shrink a one-page range whose start is already within the array.
+	var rpp, rpn uint16
+	if pfArr != nil {
+		rpp = kc.hintPage(pfArr, pfIdx)
+		if n, ok := ir.ConstFold(pfPages); ok && n == 1 && relArr == nil {
+			kc.flush()
+			kc.emit(kinstr{op: opHint1, a: rpp})
+			return
+		}
+		rpn = kc.hintCount(pfArr, pfPages, rpp)
+	}
+	var rrp, rrn uint16
+	if relArr != nil {
+		rrp = kc.hintPage(relArr, relIdx)
+		rrn = kc.hintCount(relArr, relPages, rrp)
+	}
+	kc.flush()
+	kc.emit(kinstr{op: opHint, a: rpp, b: rpn, dst: rrp, imm: int64(rrn)})
+}
+
+// hintPage emits the unchecked linear index (hint addresses are clamped,
+// never bounds-checked) and the clamp-to-array page computation.
+func (kc *kcompiler) hintPage(arr *ir.Array, idx []ir.IExpr) uint16 {
+	var li uint16
+	for d, ix := range idx {
+		r := kc.iexpr(ix)
+		if arr.Strides[d] != 1 {
+			rm := kc.iReg()
+			kc.emit(kinstr{op: opIMulImm, dst: rm, a: r, imm: arr.Strides[d]})
+			r = rm
+		}
+		if d == 0 {
+			li = r
+		} else {
+			rs := kc.iReg()
+			kc.emit(kinstr{op: opIAdd, dst: rs, a: li, b: r})
+			li = rs
+		}
+	}
+	rp := kc.iReg()
+	kc.emit(kinstr{op: opHintPage, dst: rp, a: li, imm: arr.Base, imm2: arr.Elems})
+	return rp
+}
+
+func (kc *kcompiler) hintCount(arr *ir.Array, pages ir.IExpr, rp uint16) uint16 {
+	rn0 := kc.iexpr(pages)
+	rn := kc.iReg()
+	lastPage := (arr.Base + arr.Elems*ir.ElemSize - 1) >> kc.shift
+	kc.emit(kinstr{op: opHintN, dst: rn, a: rn0, b: rp, imm: lastPage})
+	return rn
+}

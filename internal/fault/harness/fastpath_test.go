@@ -46,35 +46,49 @@ func checkSameSimulation(t *testing.T, name string,
 // default) and off, under the same profile, and checks equivalence.
 func runBoth(t *testing.T, k Kernel, prof *fault.Profile) {
 	t.Helper()
+	runBothOn(t, k, nil, prof)
+}
+
+// runBothOn is runBoth on an explicit storage backend (nil = the
+// kernel's own machine): the executor's compiled drivers must be
+// tick-identical to the oracle on every tier, not just the disk array.
+func runBothOn(t *testing.T, k Kernel, spec *core.BackendSpec, prof *fault.Profile) {
+	t.Helper()
 	fastK := k
 	fastK.Cfg.NoFastPath = false
-	fast, fastSum, err := Run(fastK, prof)
+	fast, fastSum, err := RunBackend(fastK, spec, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
 	slowK := k
 	slowK.Cfg.NoFastPath = true
-	slow, slowSum, err := Run(slowK, prof)
+	slow, slowSum, err := RunBackend(slowK, spec, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
 	name := k.Name
+	if spec != nil {
+		name += "@" + spec.Tier.String()
+	}
 	if prof != nil {
 		name += "/" + prof.Name
 	}
 	checkSameSimulation(t, name, fast, fastSum, slow, slowSum)
 }
 
-// TestFastPathEquivalenceNAS is the differential property of ISSUE 5:
-// for every NAS proxy in the matrix, a run with page-run specialization
-// must be tick-identical to a run without it — fault-free and under
-// every seeded fault profile.
+// TestFastPathEquivalenceNAS is the differential property of ISSUE 5,
+// widened across storage tiers: for every NAS proxy in the matrix, a
+// run with the compiled drivers must be tick-identical to a run on the
+// closure oracle — fault-free and under every seeded fault profile, on
+// the disk array, NVMe, and far memory alike.
 func TestFastPathEquivalenceNAS(t *testing.T) {
 	apps := matrixApps()
 	profiles := matrixProfiles
+	tiers := []string{"", "nvme", "farmem"}
 	if testing.Short() {
 		apps = apps[:2]
 		profiles = []string{"chaos"}
+		tiers = []string{""}
 	}
 	for ai, app := range apps {
 		app := app
@@ -84,15 +98,29 @@ func TestFastPathEquivalenceNAS(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			t.Run("clean", func(t *testing.T) { runBoth(t, k, nil) })
-			for pi, name := range profiles {
-				p, ok := fault.ProfileByName(name)
-				if !ok {
-					t.Fatalf("unknown profile %q", name)
+			for _, tier := range tiers {
+				var spec *core.BackendSpec
+				label := "disk"
+				if tier != "" {
+					s, err := core.ParseBackendSpec(tier)
+					if err != nil {
+						t.Fatal(err)
+					}
+					spec = &s
+					label = tier
 				}
-				p.Seed = uint64(31 + 100*ai + pi) // same family, fresh seeds
-				prof := p
-				t.Run(name, func(t *testing.T) { runBoth(t, k, &prof) })
+				t.Run(label, func(t *testing.T) {
+					t.Run("clean", func(t *testing.T) { runBothOn(t, k, spec, nil) })
+					for pi, name := range profiles {
+						p, ok := fault.ProfileByName(name)
+						if !ok {
+							t.Fatalf("unknown profile %q", name)
+						}
+						p.Seed = uint64(31 + 100*ai + pi) // same family, fresh seeds
+						prof := p
+						t.Run(name, func(t *testing.T) { runBothOn(t, k, spec, &prof) })
+					}
+				})
 			}
 		})
 	}

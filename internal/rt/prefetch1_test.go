@@ -1,0 +1,61 @@
+package rt
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPrefetch1Parity is the differential contract of the single-page
+// fast path: two identical systems, one driven through Prefetch1 and
+// one through the general PrefetchRelease(page, 1, 0, 0), must agree on
+// every layer counter, every VM counter, and the simulated clock after
+// each call — across filtered hits, issued misses, and the disabled
+// pass-through configuration.
+func TestPrefetch1Parity(t *testing.T) {
+	for _, enabled := range []bool{true, false} {
+		name := "enabled"
+		if !enabled {
+			name = "disabled"
+		}
+		t.Run(name, func(t *testing.T) {
+			cA, vA := newSystem(t, 64, 64)
+			cB, vB := newSystem(t, 64, 64)
+			lA := Register(vA, enabled)
+			lB := Register(vB, enabled)
+			ps := vA.Params().PageSize
+			baseA, _ := vA.Alloc("x", 8*ps)
+			baseB, _ := vB.Alloc("x", 8*ps)
+			if baseA != baseB {
+				t.Fatal("allocations diverged")
+			}
+			p0 := vA.PageOf(baseA)
+
+			step := func(what string, page int64) {
+				lA.Prefetch1(page)
+				lB.PrefetchRelease(page, 1, 0, 0)
+				cA.Advance(10 * sim.Millisecond)
+				cB.Advance(10 * sim.Millisecond)
+				if sa, sb := lA.Stats(), lB.Stats(); sa != sb {
+					t.Fatalf("%s: layer stats diverged: %+v vs %+v", what, sa, sb)
+				}
+				if sa, sb := vA.Stats(), vB.Stats(); sa != sb {
+					t.Fatalf("%s: vm stats diverged: %+v vs %+v", what, sa, sb)
+				}
+				if ta, tb := vA.Times(), vB.Times(); ta != tb {
+					t.Fatalf("%s: time split diverged: %+v vs %+v", what, ta, tb)
+				}
+				if cA.Now() != cB.Now() {
+					t.Fatalf("%s: clocks diverged: %v vs %v", what, cA.Now(), cB.Now())
+				}
+			}
+
+			step("cold miss", p0)        // bit clear: issue
+			step("filtered hit", p0)     // bit set: filter (enabled) / issue again (disabled)
+			step("second page", p0+1)    // independent cold miss
+			step("repeat second", p0+1)  // filtered again
+			step("far page", p0+6)       // miss beyond the earlier window
+			step("far page again", p0+6) // and its filtered repeat
+		})
+	}
+}

@@ -13,6 +13,7 @@ package rt
 
 import (
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/vm"
 )
 
@@ -61,8 +62,11 @@ type Layer struct {
 	vm      *vm.VM
 	bv      *vm.BitVector
 	enabled bool
-	n       Stats
-	c       counters
+	// filterCheck caches Params().FilterCheckTime so the single-page
+	// fast path doesn't re-read the parameter struct per hint.
+	filterCheck sim.Time
+	n           Stats
+	c           counters
 }
 
 // Register attaches a run-time layer to an address space, sharing the OS
@@ -79,14 +83,15 @@ func RegisterObserved(v *vm.VM, enabled bool, reg *obs.Registry) *Layer {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Layer{vm: v, bv: v.BitVector(), enabled: enabled, c: counters{
-		insertedCalls: reg.Counter("rt.inserted_calls"),
-		insertedPages: reg.Counter("rt.inserted_pages"),
-		filteredPages: reg.Counter("rt.filtered_pages"),
-		issuedCalls:   reg.Counter("rt.issued_calls"),
-		issuedPages:   reg.Counter("rt.issued_pages"),
-		releasePages:  reg.Counter("rt.release_pages"),
-	}}
+	return &Layer{vm: v, bv: v.BitVector(), enabled: enabled,
+		filterCheck: v.Params().FilterCheckTime, c: counters{
+			insertedCalls: reg.Counter("rt.inserted_calls"),
+			insertedPages: reg.Counter("rt.inserted_pages"),
+			filteredPages: reg.Counter("rt.filtered_pages"),
+			issuedCalls:   reg.Counter("rt.issued_calls"),
+			issuedPages:   reg.Counter("rt.issued_pages"),
+			releasePages:  reg.Counter("rt.release_pages"),
+		}}
 }
 
 // Enabled reports whether filtering is active.
@@ -101,6 +106,32 @@ func (l *Layer) Stats() Stats {
 
 // Prefetch handles a compiler-inserted prefetch of n pages at page.
 func (l *Layer) Prefetch(page, n int64) { l.PrefetchRelease(page, n, 0, 0) }
+
+// Prefetch1 handles the single-page, no-release prefetch — the shape
+// the executor's compiled kernels issue once per iteration in
+// hint-dense inner loops. It is observably identical to
+// PrefetchRelease(page, 1, 0, 0) — same counters, same filter charge,
+// same syscall decision — with the general block-scan machinery
+// specialized down to one bit test.
+func (l *Layer) Prefetch1(page int64) {
+	l.n.InsertedCalls++
+	l.n.InsertedPages++
+	if !l.enabled {
+		l.n.IssuedCalls++
+		l.n.IssuedPages++
+		l.vm.PrefetchRelease(page, 1, 0, 0)
+		return
+	}
+	l.vm.AddUserTimeN(l.filterCheck, 1)
+	if l.bv.Get(page) {
+		l.n.FilteredPages++
+		return
+	}
+	l.n.IssuedCalls++
+	l.n.IssuedPages++
+	l.bv.Set(page)
+	l.vm.PrefetchRelease(page, 1, 0, 0)
+}
 
 // Release handles a compiler-inserted release of n pages at page.
 // Releases are never filtered: the layer cannot know better than the

@@ -177,7 +177,7 @@ func TestFaultedFSDeterministic(t *testing.T) {
 		}
 		c.Drain()
 		var out []disk.Stats
-		for _, d := range fs.Disks() {
+		for _, d := range fs.Backends() {
 			out = append(out, d.Stats())
 		}
 		return c.Now(), out

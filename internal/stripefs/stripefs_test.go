@@ -174,7 +174,7 @@ func TestBlockReadCoalescesPerDisk(t *testing.T) {
 	// request of two pages.
 	f.Read(0, int64(2*nd), disk.PrefetchRead, func(int64) []uint64 { return buf }, nil, nil, nil)
 	c.Drain()
-	for i, d := range fs.Disks() {
+	for i, d := range fs.Backends() {
 		s := d.Stats()
 		if s.Requests[disk.PrefetchRead] != 1 {
 			t.Fatalf("disk %d saw %d requests, want 1 (coalescing)", i, s.Requests[disk.PrefetchRead])
@@ -229,7 +229,7 @@ func TestWritePersists(t *testing.T) {
 	if got == nil || got[0] != 0xAB {
 		t.Fatal("write did not persist captured data")
 	}
-	if fs.Disks()[f.DiskOf(3)].Stats().Requests[disk.Write] != 1 {
+	if fs.Backends()[f.DiskOf(3)].Stats().Requests[disk.Write] != 1 {
 		t.Fatal("write request not accounted on the right disk")
 	}
 }

@@ -33,6 +33,34 @@ func (v *VM) Store(addr int64, word uint64) {
 	v.words[int64(e.frame)<<v.wordShift+(addr&v.pageMask)>>3] = word
 }
 
+// LoadFast is the executor kernel's inlinable hot probe: it succeeds
+// only when the page holding addr is hot (resident and already
+// touched), in which case it performs exactly what Load would — mark
+// referenced, read the word — without the fault machinery on the call
+// path. ok=false means the caller must go through Load, which faults,
+// classifies, and stalls as usual.
+func (v *VM) LoadFast(addr int64) (uint64, bool) {
+	e := &v.pt[addr>>v.pageShift]
+	if e.state != hot {
+		return 0, false
+	}
+	e.referenced = true
+	return v.words[int64(e.frame)<<v.wordShift+(addr&v.pageMask)>>3], true
+}
+
+// StoreFast is LoadFast for stores: on a hot page it marks referenced
+// and dirty and writes the word, exactly as Store would.
+func (v *VM) StoreFast(addr int64, word uint64) bool {
+	e := &v.pt[addr>>v.pageShift]
+	if e.state != hot {
+		return false
+	}
+	e.referenced = true
+	e.dirty = true
+	v.words[int64(e.frame)<<v.wordShift+(addr&v.pageMask)>>3] = word
+	return true
+}
+
 // LoadF64 reads a float64 at addr.
 func (v *VM) LoadF64(addr int64) float64 { return math.Float64frombits(v.Load(addr)) }
 

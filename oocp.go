@@ -366,3 +366,11 @@ func AblateAll(w io.Writer, scale float64) error { return bench.AblateAll(w, sca
 func AblateAllContext(ctx context.Context, w io.Writer, scale float64, r Runner) error {
 	return bench.AblateAllContext(ctx, w, scale, r)
 }
+
+// ExplainFastPath runs every NAS proxy once at the given scale and
+// prints, per loop, which compiled driver ran it (page-run span driver,
+// linearized kernel bytecode, or the closure oracle) and why the
+// compiler fell back when it did.
+func ExplainFastPath(w io.Writer, scale float64) error {
+	return bench.ExplainFastPath(w, scale)
+}
