@@ -5,15 +5,17 @@ STATICCHECK_VERSION ?= 2025.1.1
 
 # The benchmark gate covers the observability substrate, the VM hot
 # paths (per-element and page-run), the storage backends' fault-free
-# service cycle, and one end-to-end kernel host-time figure —
-# regressions here mean the tracer/registry layer, a device engine, or
-# the executor fast path leaked cost into every simulated event.
-BENCH_PKGS = ./internal/obs ./internal/vm ./internal/disk ./internal/bench
+# service cycle, one end-to-end kernel host-time figure, and the
+# multi-tenant scheduler's steady-state step (which must stay
+# zero-alloc) — regressions here mean the tracer/registry layer, a
+# device engine, the executor fast path, or the tenant scheduler leaked
+# cost into every simulated event.
+BENCH_PKGS = ./internal/obs ./internal/vm ./internal/disk ./internal/bench ./internal/tenant
 # -count 3 with benchdiff keeping each benchmark's fastest run damps
 # allocator and scheduler noise enough for a 15% gate.
 BENCH_FLAGS = -bench=. -benchmem -benchtime 200ms -count 3 -run '^$$'
 
-.PHONY: ci fmt-check vet staticcheck build test race fuzz test-faults test-fastpath test-backends bench bench-check bench-baseline
+.PHONY: ci fmt-check vet staticcheck build test race fuzz test-faults test-fastpath test-backends test-tenants bench bench-check bench-baseline
 
 # ci is the gate: formatting, static checks, build, tests, the
 # race-detector pass over the concurrent experiment runner, a
@@ -76,6 +78,16 @@ test-backends:
 	$(GO) test ./internal/hw ./internal/core -run 'Tier|Backend'
 	$(GO) test ./internal/fault/harness/ -run 'TestNASBackendsByteIdentical|TestBackendsFaultedByteIdentical'
 
+# test-tenants runs the multi-tenant service gate: scheduler determinism
+# (same mix and seed, byte-identical output), tenant isolation (a
+# tenant's final memory image is identical solo and contended), QoS
+# class ordering, quota fair-share reclaim, admission control, and the
+# solo-server tick-for-tick equivalence with a directly driven VM.
+test-tenants:
+	$(GO) test ./internal/tenant/ -count 1
+	$(GO) test ./internal/vm/ -run 'TestReclaim|TestQuota|TestPool'
+	$(GO) test ./cmd/benchdiff/
+
 # test-fastpath runs the executor fast-path differential property: every
 # NAS proxy and example kernel must be tick-identical with page-run
 # specialization on and off, fault-free and under fault profiles, plus
@@ -88,10 +100,13 @@ bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
 # bench-check records the benchmark gate's current figures and fails on
-# any >15% ns/op regression against the committed baseline.
+# any >15% ns/op regression against the committed baseline (exit 1), a
+# zero-alloc benchmark that now allocates (exit 1), or a baseline
+# benchmark missing from the run (exit 3 — refresh the baseline). The
+# Markdown summary feeds the CI job summary and artifact.
 bench-check:
 	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchdiff -record BENCH_ci.json
-	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 15
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 15 -summary BENCH_summary.md
 
 # bench-baseline refreshes the committed baseline; run it on the
 # reference machine after an intentional performance change and commit

@@ -14,6 +14,16 @@
 //
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 15
 //
+// Exit codes distinguish the failure: 1 means a performance or
+// allocation regression, 2 a usage error, and 3 that a baseline
+// benchmark is missing from the current run — a renamed or deleted
+// benchmark silently shrinking the gate, which needs a baseline refresh
+// rather than a performance fix. Each missing benchmark's key is printed
+// so the offender is identifiable from the CI log alone.
+//
+// -summary FILE additionally writes the comparison as a Markdown table
+// with a worst-regressors line, sized for a CI job summary.
+//
 // Benchmark names are recorded without the -GOMAXPROCS suffix so a
 // recording made on one machine compares against another's.
 package main
@@ -41,6 +51,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline JSON to compare against")
 	current := flag.String("current", "", "freshly recorded JSON to compare")
 	threshold := flag.Float64("threshold", 15, "maximum tolerated ns/op regression, percent")
+	summary := flag.String("summary", "", "also write the comparison as a Markdown job summary to this file")
 	flag.Parse()
 
 	switch {
@@ -49,19 +60,31 @@ func main() {
 			fatal(err)
 		}
 	case *baseline != "" && *current != "":
-		regressions, worst, err := compare(*baseline, *current, *threshold)
+		base, err := load(*baseline)
 		if err != nil {
 			fatal(err)
 		}
-		if len(regressions) > 0 {
-			for _, r := range regressions {
-				fmt.Fprintln(os.Stderr, "benchdiff:", r)
-			}
-			if worst != "" {
-				fmt.Fprintln(os.Stderr, "benchdiff: worst regressions:", worst)
-			}
-			os.Exit(1)
+		cur, err := load(*current)
+		if err != nil {
+			fatal(err)
 		}
+		cmp := compare(base, cur, *threshold)
+		fmt.Print(cmp.table())
+		if *summary != "" {
+			if err := os.WriteFile(*summary, []byte(cmp.markdown(*threshold)), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		for _, m := range cmp.missing {
+			fmt.Fprintf(os.Stderr, "benchdiff: baseline benchmark missing from current run: %s\n", m)
+		}
+		for _, r := range cmp.regressions {
+			fmt.Fprintln(os.Stderr, "benchdiff:", r)
+		}
+		if worst := cmp.worstSummary(3); worst != "" {
+			fmt.Fprintln(os.Stderr, "benchdiff: worst regressions:", worst)
+		}
+		os.Exit(cmp.exitCode())
 	default:
 		fmt.Fprintln(os.Stderr, "benchdiff: need -record FILE, or -baseline FILE -current FILE")
 		flag.Usage()
@@ -139,33 +162,40 @@ func stripProcSuffix(name string) string {
 	return name[:i]
 }
 
-// compare returns one message per regression — baseline benchmarks that
-// slowed by more than thresholdPct, that were allocation-free and now
-// allocate, or that vanished from the current recording — plus a
-// worst-first summary of the ns/op regressors ("BenchmarkFoo (+42.0%),
-// BenchmarkBar (+17.3%)") for the failure message.
-func compare(basePath, curPath string, thresholdPct float64) ([]string, string, error) {
-	base, err := load(basePath)
-	if err != nil {
-		return nil, "", err
-	}
-	cur, err := load(curPath)
-	if err != nil {
-		return nil, "", err
-	}
+// row is one benchmark's comparison line.
+type row struct {
+	name      string
+	base, cur float64
+	change    float64
+	status    string
+}
+
+// comparison is the full outcome of diffing a current recording against
+// a baseline: per-benchmark rows, regression messages, and the baseline
+// keys that vanished from the current run.
+type comparison struct {
+	rows        []row
+	regressions []string // threshold and zero-alloc violations
+	missing     []string // baseline keys absent from the current run
+	slowdowns   []slowdown
+}
+
+// compare diffs cur against base: baseline benchmarks that slowed by
+// more than thresholdPct or that were allocation-free and now allocate
+// become regressions; baseline benchmarks absent from cur are collected
+// in missing (a shrunken gate, reported with its own exit code).
+func compare(base, cur map[string]Result, thresholdPct float64) *comparison {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var regressions []string
-	var slowdowns []slowdown
+	cmp := &comparison{}
 	for _, name := range names {
 		b := base[name]
 		c, ok := cur[name]
 		if !ok {
-			regressions = append(regressions,
-				fmt.Sprintf("%s: in baseline but missing from current run", name))
+			cmp.missing = append(cmp.missing, name)
 			continue
 		}
 		if b.NsOp <= 0 {
@@ -175,22 +205,69 @@ func compare(basePath, curPath string, thresholdPct float64) ([]string, string, 
 		status := "ok"
 		if change > thresholdPct {
 			status = "REGRESSION"
-			regressions = append(regressions,
+			cmp.regressions = append(cmp.regressions,
 				fmt.Sprintf("%s: %.1f ns/op -> %.1f ns/op (%+.1f%% > %.0f%% threshold)",
 					name, b.NsOp, c.NsOp, change, thresholdPct))
-			slowdowns = append(slowdowns, slowdown{name, change})
+			cmp.slowdowns = append(cmp.slowdowns, slowdown{name, change})
 		}
 		// A benchmark recorded at zero allocs/op is a zero-allocation
 		// guarantee: any new allocation fails regardless of the ns/op
 		// threshold. (AllocsOp < 0 means -benchmem was off; no claim.)
 		if b.AllocsOp == 0 && c.AllocsOp > 0 {
 			status = "ALLOC-REGRESSION"
-			regressions = append(regressions,
+			cmp.regressions = append(cmp.regressions,
 				fmt.Sprintf("%s: was zero-alloc, now %.0f allocs/op", name, c.AllocsOp))
 		}
-		fmt.Printf("%-40s %12.1f %12.1f %+8.1f%%  %s\n", name, b.NsOp, c.NsOp, change, status)
+		cmp.rows = append(cmp.rows, row{name, b.NsOp, c.NsOp, change, status})
 	}
-	return regressions, worstSummary(slowdowns, 3), nil
+	return cmp
+}
+
+// exitCode maps the comparison to the process exit code: 3 when any
+// baseline benchmark vanished (the gate shrank — refresh the baseline or
+// restore the benchmark), 1 for performance or allocation regressions,
+// 0 when clean. A vanished benchmark wins over a regression because it
+// means the remaining figures do not cover what the baseline promises.
+func (c *comparison) exitCode() int {
+	switch {
+	case len(c.missing) > 0:
+		return 3
+	case len(c.regressions) > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// table renders the plain-text comparison for the CI log.
+func (c *comparison) table() string {
+	var b strings.Builder
+	for _, r := range c.rows {
+		fmt.Fprintf(&b, "%-40s %12.1f %12.1f %+8.1f%%  %s\n", r.name, r.base, r.cur, r.change, r.status)
+	}
+	return b.String()
+}
+
+// markdown renders the comparison as a job-summary document: the full
+// table, the worst ns/op regressors, and any vanished baseline keys.
+func (c *comparison) markdown(thresholdPct float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Benchmark gate (threshold %.0f%%)\n\n", thresholdPct)
+	b.WriteString("| benchmark | baseline ns/op | current ns/op | change | status |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	for _, r := range c.rows {
+		fmt.Fprintf(&b, "| %s | %.1f | %.1f | %+.1f%% | %s |\n", r.name, r.base, r.cur, r.change, r.status)
+	}
+	if worst := c.worstSummary(3); worst != "" {
+		fmt.Fprintf(&b, "\n**Worst regressors:** %s\n", worst)
+	}
+	for _, m := range c.missing {
+		fmt.Fprintf(&b, "\n**Missing from current run:** `%s`\n", m)
+	}
+	if len(c.regressions) == 0 && len(c.missing) == 0 {
+		b.WriteString("\nNo regressions.\n")
+	}
+	return b.String()
 }
 
 // slowdown is one benchmark's ns/op regression, for the summary line.
@@ -199,8 +276,10 @@ type slowdown struct {
 	change float64
 }
 
-// worstSummary names the n worst ns/op regressors, worst first.
-func worstSummary(slowdowns []slowdown, n int) string {
+// worstSummary names the n worst ns/op regressors, worst first
+// ("BenchmarkFoo (+42.0%), BenchmarkBar (+17.3%)").
+func (c *comparison) worstSummary(n int) string {
+	slowdowns := append([]slowdown(nil), c.slowdowns...)
 	sort.Slice(slowdowns, func(i, j int) bool { return slowdowns[i].change > slowdowns[j].change })
 	if len(slowdowns) > n {
 		slowdowns = slowdowns[:n]

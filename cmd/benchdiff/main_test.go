@@ -36,100 +36,145 @@ PASS
 	}
 }
 
-func TestCompareNsOpThreshold(t *testing.T) {
+func TestLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 0}}`)
-	cur := writeJSON(t, dir, "cur.json", `{"BenchmarkFoo": {"ns_op": 120, "allocs_op": 0}}`)
-	regs, _, err := compare(base, cur, 15)
+	path := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 2}}`)
+	m, err := load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(regs) != 1 || !strings.Contains(regs[0], "threshold") {
-		t.Fatalf("regressions = %v, want one ns/op regression", regs)
+	if got := m["BenchmarkFoo"]; got.NsOp != 100 || got.AllocsOp != 2 {
+		t.Fatalf("loaded %+v", got)
 	}
-	regs, _, err = compare(base, cur, 25)
-	if err != nil {
-		t.Fatal(err)
+	if _, err := load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("load of a missing file succeeded")
 	}
-	if len(regs) != 0 {
-		t.Fatalf("regressions = %v, want none at 25%% threshold", regs)
+}
+
+func TestCompareNsOpThreshold(t *testing.T) {
+	base := map[string]Result{"BenchmarkFoo": {NsOp: 100, AllocsOp: 0}}
+	cur := map[string]Result{"BenchmarkFoo": {NsOp: 120, AllocsOp: 0}}
+	cmp := compare(base, cur, 15)
+	if len(cmp.regressions) != 1 || !strings.Contains(cmp.regressions[0], "threshold") {
+		t.Fatalf("regressions = %v, want one ns/op regression", cmp.regressions)
+	}
+	if got := cmp.exitCode(); got != 1 {
+		t.Fatalf("exitCode = %d, want 1 for a performance regression", got)
+	}
+	cmp = compare(base, cur, 25)
+	if len(cmp.regressions) != 0 || cmp.exitCode() != 0 {
+		t.Fatalf("regressions = %v exit = %d, want clean at 25%% threshold", cmp.regressions, cmp.exitCode())
 	}
 }
 
 func TestCompareZeroAllocIsHard(t *testing.T) {
-	dir := t.TempDir()
-	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 0}}`)
+	base := map[string]Result{"BenchmarkFoo": {NsOp: 100, AllocsOp: 0}}
 	// Faster, but no longer allocation-free: still a failure.
-	cur := writeJSON(t, dir, "cur.json", `{"BenchmarkFoo": {"ns_op": 90, "allocs_op": 1}}`)
-	regs, _, err := compare(base, cur, 15)
-	if err != nil {
-		t.Fatal(err)
+	cur := map[string]Result{"BenchmarkFoo": {NsOp: 90, AllocsOp: 1}}
+	cmp := compare(base, cur, 15)
+	if len(cmp.regressions) != 1 || !strings.Contains(cmp.regressions[0], "zero-alloc") {
+		t.Fatalf("regressions = %v, want one zero-alloc regression", cmp.regressions)
 	}
-	if len(regs) != 1 || !strings.Contains(regs[0], "zero-alloc") {
-		t.Fatalf("regressions = %v, want one zero-alloc regression", regs)
+	if got := cmp.exitCode(); got != 1 {
+		t.Fatalf("exitCode = %d, want 1", got)
 	}
 }
 
 func TestCompareAllocGrowthAllowedWhenNonzero(t *testing.T) {
-	dir := t.TempDir()
-	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 5}}`)
-	cur := writeJSON(t, dir, "cur.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 7}}`)
-	regs, _, err := compare(base, cur, 15)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(regs) != 0 {
-		t.Fatalf("regressions = %v, want none (benchmark was never zero-alloc)", regs)
+	base := map[string]Result{"BenchmarkFoo": {NsOp: 100, AllocsOp: 5}}
+	cur := map[string]Result{"BenchmarkFoo": {NsOp: 100, AllocsOp: 7}}
+	cmp := compare(base, cur, 15)
+	if len(cmp.regressions) != 0 || cmp.exitCode() != 0 {
+		t.Fatalf("regressions = %v, want none (benchmark was never zero-alloc)", cmp.regressions)
 	}
 }
 
-func TestCompareMissingBenchmark(t *testing.T) {
-	dir := t.TempDir()
-	base := writeJSON(t, dir, "base.json", `{"BenchmarkFoo": {"ns_op": 100, "allocs_op": 0}}`)
-	cur := writeJSON(t, dir, "cur.json", `{}`)
-	regs, _, err := compare(base, cur, 15)
-	if err != nil {
-		t.Fatal(err)
+func TestCompareMissingBenchmarkExitsThree(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkFoo": {NsOp: 100, AllocsOp: 0},
+		"BenchmarkBar": {NsOp: 50, AllocsOp: 0},
 	}
-	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
-		t.Fatalf("regressions = %v, want one missing-benchmark failure", regs)
+	cur := map[string]Result{"BenchmarkBar": {NsOp: 50, AllocsOp: 0}}
+	cmp := compare(base, cur, 15)
+	if len(cmp.missing) != 1 || cmp.missing[0] != "BenchmarkFoo" {
+		t.Fatalf("missing = %v, want the vanished baseline key BenchmarkFoo", cmp.missing)
+	}
+	if len(cmp.regressions) != 0 {
+		t.Fatalf("regressions = %v, want the vanished key reported separately", cmp.regressions)
+	}
+	if got := cmp.exitCode(); got != 3 {
+		t.Fatalf("exitCode = %d, want the distinct missing-benchmark code 3", got)
+	}
+}
+
+func TestCompareMissingWinsOverRegression(t *testing.T) {
+	// A vanished benchmark and a slow one together: the missing key's
+	// exit code wins, because the run no longer covers the baseline.
+	base := map[string]Result{
+		"BenchmarkGone": {NsOp: 100, AllocsOp: 0},
+		"BenchmarkSlow": {NsOp: 100, AllocsOp: 0},
+	}
+	cur := map[string]Result{"BenchmarkSlow": {NsOp: 200, AllocsOp: 0}}
+	cmp := compare(base, cur, 15)
+	if len(cmp.missing) != 1 || len(cmp.regressions) != 1 {
+		t.Fatalf("missing = %v regressions = %v, want one of each", cmp.missing, cmp.regressions)
+	}
+	if got := cmp.exitCode(); got != 3 {
+		t.Fatalf("exitCode = %d, want 3", got)
 	}
 }
 
 func TestCompareWorstRegressorsSummary(t *testing.T) {
-	dir := t.TempDir()
-	base := writeJSON(t, dir, "base.json", `{
-		"BenchmarkA": {"ns_op": 100, "allocs_op": 0},
-		"BenchmarkB": {"ns_op": 100, "allocs_op": 0},
-		"BenchmarkC": {"ns_op": 100, "allocs_op": 0},
-		"BenchmarkD": {"ns_op": 100, "allocs_op": 0},
-		"BenchmarkOK": {"ns_op": 100, "allocs_op": 0}}`)
-	cur := writeJSON(t, dir, "cur.json", `{
-		"BenchmarkA": {"ns_op": 130, "allocs_op": 0},
-		"BenchmarkB": {"ns_op": 180, "allocs_op": 0},
-		"BenchmarkC": {"ns_op": 150, "allocs_op": 0},
-		"BenchmarkD": {"ns_op": 120, "allocs_op": 0},
-		"BenchmarkOK": {"ns_op": 101, "allocs_op": 0}}`)
-	regs, worst, err := compare(base, cur, 15)
-	if err != nil {
-		t.Fatal(err)
+	base := map[string]Result{
+		"BenchmarkA":  {NsOp: 100},
+		"BenchmarkB":  {NsOp: 100},
+		"BenchmarkC":  {NsOp: 100},
+		"BenchmarkD":  {NsOp: 100},
+		"BenchmarkOK": {NsOp: 100},
 	}
-	if len(regs) != 4 {
-		t.Fatalf("regressions = %v, want 4", regs)
+	cur := map[string]Result{
+		"BenchmarkA":  {NsOp: 130},
+		"BenchmarkB":  {NsOp: 180},
+		"BenchmarkC":  {NsOp: 150},
+		"BenchmarkD":  {NsOp: 120},
+		"BenchmarkOK": {NsOp: 101},
+	}
+	cmp := compare(base, cur, 15)
+	if len(cmp.regressions) != 4 {
+		t.Fatalf("regressions = %v, want 4", cmp.regressions)
 	}
 	// Worst first, capped at three, with the sub-threshold benchmark and
 	// the fourth-worst regressor absent.
 	want := "BenchmarkB (+80.0%), BenchmarkC (+50.0%), BenchmarkA (+30.0%)"
-	if worst != want {
-		t.Fatalf("worst = %q, want %q", worst, want)
+	if got := cmp.worstSummary(3); got != want {
+		t.Fatalf("worst = %q, want %q", got, want)
 	}
 
 	// No regressions: no summary.
-	_, worst, err = compare(base, base, 15)
-	if err != nil {
-		t.Fatal(err)
+	if got := compare(base, base, 15).worstSummary(3); got != "" {
+		t.Fatalf("worst = %q, want empty", got)
 	}
-	if worst != "" {
-		t.Fatalf("worst = %q, want empty", worst)
+}
+
+func TestMarkdownSummary(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkGone": {NsOp: 100, AllocsOp: 0},
+		"BenchmarkSlow": {NsOp: 100, AllocsOp: 0},
+	}
+	cur := map[string]Result{"BenchmarkSlow": {NsOp: 200, AllocsOp: 0}}
+	md := compare(base, cur, 15).markdown(15)
+	for _, want := range []string{
+		"| benchmark |",
+		"| BenchmarkSlow | 100.0 | 200.0 | +100.0% | REGRESSION |",
+		"**Worst regressors:** BenchmarkSlow (+100.0%)",
+		"**Missing from current run:** `BenchmarkGone`",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	clean := compare(base, base, 15).markdown(15)
+	if !strings.Contains(clean, "No regressions.") {
+		t.Fatalf("clean markdown missing all-clear line:\n%s", clean)
 	}
 }

@@ -6,6 +6,7 @@
 //	         [-scale F] [-ratio F] [-mem MB]
 //	         [-parallel N] [-timeout D] [-progress]
 //	         [-backend SPEC] [-faults SPEC] [-trace FILE] [-metrics FILE]
+//	         [-tenants N] [-qos CLASSES] [-seed N]
 //	         [-explain-fastpath] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scale multiplies every application's problem size (1 = standard);
@@ -39,6 +40,18 @@
 // -trace writes a Chrome trace-event JSON timeline of every simulated
 // run (load it in Perfetto or chrome://tracing); -metrics writes a flat
 // JSON snapshot of every run's counters keyed "<app>/<variant>/name".
+//
+// -tenants N runs the multi-tenant service benchmark instead of the
+// paper experiments: N tenant kernels share one frame pool and one
+// storage array under residency quotas, prefetch-priority classes, and
+// admission control. -qos assigns classes per tenant as a comma list
+// ("gold,silver,be"), cycled when shorter than N; -seed picks the
+// deterministic scheduling seed (same mix and seed, byte-identical
+// output). -scale, -backend, -faults, -trace, and -metrics compose with
+// -tenants; the experiment-selection and worker-pool flags (-exp,
+// -ratio, -mem, -parallel, -timeout, -progress, -explain-fastpath) do
+// not — the service is one deterministic simulation, not a run matrix —
+// and combining them is a usage error.
 //
 // -explain-fastpath runs every NAS proxy once at -scale and prints, per
 // loop, which compiled driver ran it (page-run span driver, linearized
@@ -82,6 +95,9 @@ func main() {
 	faultSpec := flag.String("faults", "", `fault profile for suite runs ("brownout", "profile=chaos,seed=7", ...)`)
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	metricsPath := flag.String("metrics", "", "write a flat JSON metrics snapshot to this file")
+	tenants := flag.Int("tenants", 0, "run the multi-tenant service benchmark with N tenants sharing one pool")
+	qosSpec := flag.String("qos", "", `per-tenant QoS classes for -tenants ("gold,silver,be", cycled)`)
+	seed := flag.Uint64("seed", 1, "deterministic scheduling seed for -tenants")
 	explain := flag.Bool("explain-fastpath", false, "print each NAS loop's compiled driver and fallback reason, then exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -95,7 +111,9 @@ func main() {
 	// The zero defaults mean "pick for me" (GOMAXPROCS workers, no
 	// timeout); an explicit non-positive pool or negative timeout is a
 	// mistake and must not silently run nothing.
+	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) {
+		set[f.Name] = true
 		switch f.Name {
 		case "parallel":
 			if *parallel <= 0 {
@@ -109,8 +127,27 @@ func main() {
 			if *scale <= 0 {
 				usage("-scale must be positive, got %g", *scale)
 			}
+		case "tenants":
+			if *tenants <= 0 {
+				usage("-tenants must be positive, got %d", *tenants)
+			}
 		}
 	})
+	if set["tenants"] {
+		// The tenant service is one deterministic simulation; the run
+		// matrix and experiment-selection flags have nothing to select.
+		for _, name := range []string{"exp", "ratio", "mem", "parallel", "timeout", "progress", "explain-fastpath"} {
+			if set[name] {
+				usage("-%s does not apply to the -tenants service benchmark", name)
+			}
+		}
+	} else {
+		for _, name := range []string{"qos", "seed"} {
+			if set[name] {
+				usage("-%s requires -tenants", name)
+			}
+		}
+	}
 
 	if alias, ok := expAlias[*exp]; ok {
 		*exp = alias
@@ -152,6 +189,45 @@ func main() {
 
 	if *explain {
 		fail(oocp.ExplainFastPath(os.Stdout, *scale))
+		return
+	}
+
+	if *tenants > 0 {
+		opts := oocp.TenantOptions{Tenants: *tenants, Scale: *scale, Seed: *seed}
+		if *qosSpec != "" {
+			classes, err := oocp.ParseQoSClasses(*qosSpec)
+			if err != nil {
+				usage("%v", err)
+			}
+			opts.Classes = classes
+		}
+		if *backendSpec != "" {
+			spec, err := oocp.ParseBackendSpec(*backendSpec)
+			if err != nil {
+				usage("%v", err)
+			}
+			opts.Backend = &spec
+		}
+		if *faultSpec != "" {
+			prof, err := oocp.ParseFaultSpec(*faultSpec)
+			if err != nil {
+				usage("%v", err)
+			}
+			opts.Faults = &prof
+		}
+		if *tracePath != "" {
+			opts.Trace = oocp.NewTrace()
+		}
+		if *metricsPath != "" {
+			opts.Metrics = oocp.NewMetrics()
+		}
+		fail(oocp.Tenants(os.Stdout, opts))
+		if opts.Trace != nil {
+			fail(writeFile(*tracePath, opts.Trace.WriteJSON))
+		}
+		if opts.Metrics != nil {
+			fail(writeFile(*metricsPath, opts.Metrics.WriteJSON))
+		}
 		return
 	}
 

@@ -28,8 +28,11 @@ type BackendSpec struct {
 	Disks int
 
 	// Sched selects the disk tier's scheduler: "" or "fcfs" for FCFS,
-	// "elevator" for SCAN. Anything but ""/"fcfs" is an error off the
-	// disk tier, which has no positional state to schedule around.
+	// "elevator" for SCAN, "qos" for class-aware QoS ordering (demand
+	// faults first, then writes, then prefetches by tenant class).
+	// Anything but ""/"fcfs"/"qos" is an error off the disk tier, which
+	// has no positional state to schedule around; "qos" orders by request
+	// kind and class only, so it is meaningful on every tier.
 	Sched string
 
 	// Latency overrides the NVMe tier's command latency.
@@ -51,6 +54,9 @@ type BackendSpec struct {
 // Elevator reports whether the spec selects SCAN disk scheduling.
 func (s *BackendSpec) Elevator() bool { return s != nil && s.Sched == "elevator" }
 
+// QoS reports whether the spec selects class-aware QoS scheduling.
+func (s *BackendSpec) QoS() bool { return s != nil && s.Sched == "qos" }
+
 // Validate checks the spec's internal consistency (tier known, scheduler
 // meaningful on the tier, overrides positive where set).
 func (s *BackendSpec) Validate() error {
@@ -62,14 +68,14 @@ func (s *BackendSpec) Validate() error {
 			int(s.Tier), strings.Join(hw.TierNames(), ", "))
 	}
 	switch s.Sched {
-	case "", "fcfs":
+	case "", "fcfs", "qos":
 	case "elevator":
 		if s.Tier != hw.TierDisk {
 			return fmt.Errorf("core: scheduler %q is meaningless on tier %s (only the disk tier has an arm to schedule)",
 				s.Sched, s.Tier)
 		}
 	default:
-		return fmt.Errorf("core: unknown scheduler %q (want fcfs or elevator)", s.Sched)
+		return fmt.Errorf("core: unknown scheduler %q (want fcfs, elevator, or qos)", s.Sched)
 	}
 	if s.Disks < 0 {
 		return fmt.Errorf("core: negative device count %d", s.Disks)

@@ -59,6 +59,13 @@ type Request struct {
 	Kind   Kind
 	Done   func()
 	Failed func()
+
+	// Tenant and Class tag the request with the issuing tenant and that
+	// tenant's prefetch-priority class, for multi-tenant QoS scheduling
+	// and per-tenant attribution. Single-tenant runs leave them zero
+	// (tenant 0, Gold), which every scheduler treats exactly as before.
+	Tenant int32
+	Class  Class
 }
 
 // Stats accumulates per-disk activity. The service path increments the

@@ -27,6 +27,7 @@ type Stats struct {
 	IssuedCalls   int64 // system calls actually made
 	IssuedPages   int64 // prefetch pages passed to the OS
 	ReleasePages  int64 // release pages passed through (never filtered)
+	BudgetDropped int64 // prefetch pages dropped at user level: hint budget exhausted
 }
 
 // UnnecessaryInsertedFrac returns the fraction of compiler-inserted
@@ -46,6 +47,7 @@ func (s Stats) UnnecessaryInsertedFrac() float64 {
 type counters struct {
 	insertedCalls, insertedPages, filteredPages *obs.Counter
 	issuedCalls, issuedPages, releasePages      *obs.Counter
+	budgetDropped                               *obs.Counter
 }
 
 func (c *counters) publish(s *Stats) {
@@ -55,6 +57,7 @@ func (c *counters) publish(s *Stats) {
 	c.issuedCalls.Store(s.IssuedCalls)
 	c.issuedPages.Store(s.IssuedPages)
 	c.releasePages.Store(s.ReleasePages)
+	c.budgetDropped.Store(s.BudgetDropped)
 }
 
 // Layer is one application's run-time layer instance.
@@ -65,8 +68,16 @@ type Layer struct {
 	// filterCheck caches Params().FilterCheckTime so the single-page
 	// fast path doesn't re-read the parameter struct per hint.
 	filterCheck sim.Time
-	n           Stats
-	c           counters
+	// budget is the number of prefetch pages the layer may still pass to
+	// the OS; -1 means unlimited (the single-tenant default). A
+	// multi-tenant scheduler refills it per scheduling quantum so that no
+	// tenant's hint stream can monopolize the shared disk queues: once
+	// exhausted, prefetch hints are dropped at user level (counted in
+	// BudgetDropped) while releases still pass through — releases free
+	// shared memory and must never be throttled.
+	budget int64
+	n      Stats
+	c      counters
 }
 
 // Register attaches a run-time layer to an address space, sharing the OS
@@ -84,14 +95,49 @@ func RegisterObserved(v *vm.VM, enabled bool, reg *obs.Registry) *Layer {
 		reg = obs.NewRegistry()
 	}
 	return &Layer{vm: v, bv: v.BitVector(), enabled: enabled,
-		filterCheck: v.Params().FilterCheckTime, c: counters{
+		filterCheck: v.Params().FilterCheckTime, budget: -1, c: counters{
 			insertedCalls: reg.Counter("rt.inserted_calls"),
 			insertedPages: reg.Counter("rt.inserted_pages"),
 			filteredPages: reg.Counter("rt.filtered_pages"),
 			issuedCalls:   reg.Counter("rt.issued_calls"),
 			issuedPages:   reg.Counter("rt.issued_pages"),
 			releasePages:  reg.Counter("rt.release_pages"),
+			budgetDropped: reg.Counter("rt.budget_dropped"),
 		}}
+}
+
+// SetBudget sets the remaining prefetch-page budget; -1 (the default)
+// disables budgeting entirely.
+func (l *Layer) SetBudget(n int64) { l.budget = n }
+
+// Budget returns the remaining prefetch-page budget (-1 if unlimited).
+func (l *Layer) Budget() int64 { return l.budget }
+
+// Refill adds n pages to the budget, as a scheduler does at the start of
+// a tenant's quantum. It is a no-op on an unlimited layer.
+func (l *Layer) Refill(n int64) {
+	if l.budget >= 0 {
+		l.budget += n
+	}
+}
+
+// spend consumes budget for n prefetch pages about to be issued and
+// reports whether the issue may proceed. A block spends as a unit: it
+// proceeds if any budget remains (the balance may go briefly negative)
+// so that hint coalescing is not defeated by an unlucky boundary.
+func (l *Layer) spend(n int64) bool {
+	if l.budget < 0 {
+		return true
+	}
+	if l.budget == 0 {
+		l.n.BudgetDropped += n
+		return false
+	}
+	l.budget -= n
+	if l.budget < 0 {
+		l.budget = 0
+	}
+	return true
 }
 
 // Enabled reports whether filtering is active.
@@ -117,6 +163,9 @@ func (l *Layer) Prefetch1(page int64) {
 	l.n.InsertedCalls++
 	l.n.InsertedPages++
 	if !l.enabled {
+		if !l.spend(1) {
+			return
+		}
 		l.n.IssuedCalls++
 		l.n.IssuedPages++
 		l.vm.PrefetchRelease(page, 1, 0, 0)
@@ -125,6 +174,9 @@ func (l *Layer) Prefetch1(page int64) {
 	l.vm.AddUserTimeN(l.filterCheck, 1)
 	if l.bv.Get(page) {
 		l.n.FilteredPages++
+		return
+	}
+	if !l.spend(1) {
 		return
 	}
 	l.n.IssuedCalls++
@@ -146,6 +198,12 @@ func (l *Layer) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
 	l.n.InsertedPages += pfN
 
 	if !l.enabled {
+		if pfN > 0 && !l.spend(pfN) {
+			pfPage, pfN = 0, 0
+			if relN == 0 {
+				return
+			}
+		}
 		l.n.IssuedCalls++
 		l.n.IssuedPages += pfN
 		l.n.ReleasePages += relN
@@ -176,6 +234,12 @@ func (l *Layer) PrefetchRelease(pfPage, pfN, relPage, relN int64) {
 	}
 
 	issueN := end - p
+	if issueN > 0 && !l.spend(issueN) {
+		p, issueN = 0, 0
+		if relN == 0 {
+			return
+		}
+	}
 	l.n.IssuedCalls++
 	l.n.IssuedPages += issueN
 	l.n.ReleasePages += relN

@@ -199,6 +199,13 @@ type File struct {
 	// Backing contents, one word slice per file page; nil means all-zero.
 	// This is the "data on disk": reads copy out of it, writes copy in.
 	store [][]uint64
+
+	// Request tags for multi-tenant QoS: the issuing tenant and its
+	// prefetch-priority class, stamped onto every request for this file.
+	// Zero values (tenant 0, Gold) are what single-tenant runs use and
+	// change nothing.
+	tenant int32
+	class  disk.Class
 }
 
 // Create allocates a file of the given number of pages, laid out in one
@@ -220,6 +227,12 @@ func (fs *FS) Create(name string, pages int64) (*File, error) {
 
 // Name returns the file's name.
 func (f *File) Name() string { return f.name }
+
+// SetTag stamps every subsequent request issued for this file with the
+// issuing tenant and that tenant's prefetch-priority class, so a QoS
+// disk scheduler can order prefetches by class and per-tenant
+// attribution survives down to the device queues.
+func (f *File) SetTag(tenant int32, class disk.Class) { f.tenant, f.class = tenant, class }
 
 // Pages returns the file's length in pages.
 func (f *File) Pages() int64 { return f.pages }
@@ -453,7 +466,8 @@ func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []uint64
 		s := fs.getSubReq()
 		s.op, s.first, s.count, s.step = op, first, count, d
 		s.disk, s.block, s.kind = int(dd), startBlock, kind
-		req := disk.Request{Block: startBlock, Pages: count, Kind: kind, Done: s.deliverFn}
+		req := disk.Request{Block: startBlock, Pages: count, Kind: kind, Done: s.deliverFn,
+			Tenant: f.tenant, Class: f.class}
 		// The degradation handler is attached only under fault injection:
 		// a fault-free disk never fails a request.
 		if fs.flt != nil {
@@ -527,7 +541,8 @@ func (f *File) Write(page int64, src []uint64, done func()) {
 	}
 	w.file, w.page, w.buf, w.done = f, page, buf, done
 	w.disk, w.block = f.locate(page)
-	req := disk.Request{Block: w.block, Pages: 1, Kind: disk.Write, Done: w.deliverFn}
+	req := disk.Request{Block: w.block, Pages: 1, Kind: disk.Write, Done: w.deliverFn,
+		Tenant: f.tenant, Class: f.class}
 	if fs.flt != nil {
 		req.Failed = w.failedFn
 	}

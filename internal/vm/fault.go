@@ -80,6 +80,11 @@ func (v *VM) Resident(page int64) bool {
 	return s == resident || s == hot
 }
 
+// InTransit reports whether a read is in flight for the page — the
+// condition a blocked tenant waits out before retrying with TouchResume
+// (the same condition touchSlow's stall waits on).
+func (v *VM) InTransit(page int64) bool { return v.pt[page].state == inTransit }
+
 // touchSlow handles every access that is not a hot hit: first touches of
 // a new residency (classification), reclaim (minor) faults, stalls on
 // in-flight reads, and demand (major) faults. It loops until the page is
@@ -128,7 +133,7 @@ func (v *VM) touchSlow(page int64) {
 			// list; rescuing it costs a short kernel entry but no I/O.
 			v.chargeSys(&v.n.sysFault, "minor-fault", "fault", v.p.MinorFaultTime)
 			v.n.minorFaults++
-			v.rescueFromFree(e.frame)
+			v.pool.rescueFromFree(e.frame)
 			e.state = resident
 			if !classified && !e.touched && e.prefetched {
 				v.n.prefetchedHits++
@@ -148,15 +153,7 @@ func (v *VM) touchSlow(page int64) {
 			// Demand (major) fault: the full disk latency is exposed.
 			v.chargeSys(&v.n.sysFault, "fault-service", "fault", v.p.FaultServiceTime)
 			classifyFault()
-			f, _ := v.takeFrame(page, false)
-			e.frame = f
-			e.state = inTransit
-			v.inTransitCount++
-			v.bitvec.Set(page)
-			v.file.Read(page, 1, disk.FaultRead,
-				v.dstFn, v.arrivedFn,
-				nil, // demand reads never fail permanently (stripefs requeues)
-				nil)
+			v.startDemandRead(page, e)
 			v.waitIdle("stall", func() bool { return e.state != inTransit })
 		}
 	}
@@ -166,6 +163,121 @@ func (v *VM) touchSlow(page int64) {
 	v.bitvec.Set(page)
 }
 
+// startDemandRead takes a frame for page (evicting synchronously under
+// pressure) and issues the demand read that will make it resident.
+func (v *VM) startDemandRead(page int64, e *pte) {
+	f, _ := v.pool.takeFrame(v, page, false)
+	e.frame = f
+	e.state = inTransit
+	v.inTransitCount++
+	v.pool.inTransitCount++
+	v.bitvec.Set(page)
+	v.file.Read(page, 1, disk.FaultRead,
+		v.dstFn, v.arrivedFn,
+		nil, // demand reads never fail permanently (stripefs requeues)
+		nil)
+}
+
+// TouchAsync is the non-blocking form of the access path, for the
+// multi-tenant scheduler: it performs exactly the kernel work touchSlow
+// would — classification, minor-fault rescue, fault-service charges,
+// demand-read issue — but instead of stalling the (shared) CPU on
+// in-flight I/O it returns false. The caller must then park until
+// InTransit(page) turns false and retry with TouchResume; true means the
+// page is hot and the access may proceed through LoadFast/StoreFast.
+//
+// A charge here can advance simulated time, so the method re-examines
+// the page state after every charge, exactly as touchSlow's loop does.
+// takeFrame may still stall inside (the demand path's synchronous
+// reclaim when the free list is empty) — that models the single CPU
+// sweeping for a victim, and is charged to this tenant.
+func (v *VM) TouchAsync(page int64) bool { return v.touchAsync(page, true) }
+
+// TouchResume continues a touch episode TouchAsync began: the fault was
+// already charged and classified when the episode started, so the retry
+// only performs the work touchSlow would after waking — completing the
+// touch if the page arrived, rescuing it if it was evicted to the free
+// list, or re-faulting (a fresh fault-service charge, but no second
+// classification) if it was reclaimed entirely.
+func (v *VM) TouchResume(page int64) bool { return v.touchAsync(page, false) }
+
+func (v *VM) touchAsync(page int64, first bool) bool {
+	e := &v.pt[page]
+	if e.state == hot {
+		return true
+	}
+	if first && e.state == resident {
+		// Entry fast case, identical to touchSlow's: the subsequent
+		// access marks the page referenced.
+		if e.prefetched {
+			v.n.prefetchedHits++
+			v.trFaults.InstantArg("hit", "fault-class", v.clock.Now(), "page", page)
+			e.prefetched = false
+		}
+		e.touched = true
+		e.state = hot
+		return true
+	}
+
+	v.flushUser()
+	classified := !first
+	for e.state != resident {
+		switch e.state {
+		case hot:
+			return true
+		case freeListed:
+			v.chargeSys(&v.n.sysFault, "minor-fault", "fault", v.p.MinorFaultTime)
+			v.n.minorFaults++
+			v.pool.rescueFromFree(e.frame)
+			e.state = resident
+			if !classified && !e.touched && e.prefetched {
+				v.n.prefetchedHits++
+				v.trFaults.InstantArg("hit", "fault-class", v.clock.Now(), "page", page)
+				classified = true
+			}
+			e.prefetched = false
+
+		case inTransit:
+			if !classified {
+				v.chargeSys(&v.n.sysFault, "fault-service", "fault", v.p.FaultServiceTime)
+				classified = true
+				if e.prefetched {
+					v.n.prefetchedFaults++
+					v.trFaults.InstantArg("late", "fault-class", v.clock.Now(), "page", page)
+				} else {
+					v.n.nonPrefetchedFault++
+					v.trFaults.InstantArg("unprefetched", "fault-class", v.clock.Now(), "page", page)
+				}
+				e.prefetched = false
+				// The charge advanced the clock; the read may have landed.
+				continue
+			}
+			return false
+
+		case unmapped:
+			v.chargeSys(&v.n.sysFault, "fault-service", "fault", v.p.FaultServiceTime)
+			if !classified {
+				classified = true
+				if e.prefetched {
+					v.n.prefetchedFaults++
+					v.trFaults.InstantArg("late", "fault-class", v.clock.Now(), "page", page)
+				} else {
+					v.n.nonPrefetchedFault++
+					v.trFaults.InstantArg("unprefetched", "fault-class", v.clock.Now(), "page", page)
+				}
+				e.prefetched = false
+			}
+			v.startDemandRead(page, e)
+			return false
+		}
+	}
+	e.touched = true
+	e.state = hot
+	e.referenced = true
+	v.bitvec.Set(page)
+	return true
+}
+
 // finishRead marks an in-flight page as resident once its data has been
 // copied into its frame.
 func (v *VM) finishRead(page int64) {
@@ -173,6 +285,7 @@ func (v *VM) finishRead(page int64) {
 	if e.state == inTransit {
 		e.state = resident
 		v.inTransitCount--
-		v.ioGen++
+		v.pool.inTransitCount--
+		v.pool.ioGen++
 	}
 }

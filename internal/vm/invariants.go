@@ -3,35 +3,22 @@ package vm
 import "fmt"
 
 // CheckInvariants verifies the memory manager's structural invariants:
-// the frame table and page table form a bijection over mapped frames,
-// free-list accounting agrees with the per-frame flags, every non-zero
-// page state has a frame, and in-flight I/O counts match the page
-// table. It returns the first violation found, or nil.
+// the pool's frame table and the page tables of every attached address
+// space form a bijection over mapped frames, free-list and residency
+// accounting agree with the per-frame flags, every non-zero page state
+// has a frame, and in-flight I/O counts match the page table. It returns
+// the first violation found, or nil.
 //
 // It exists so that external torture tests — in particular the
 // fault-injection harness, which must show that injected disk errors,
 // brownouts, and dropped prefetches never corrupt the memory manager —
 // can assert the same invariants the package's own randomized tests do.
+// The pool-level half (bijection, free counts, residency, quota census)
+// is shared by all tenants; the per-space half below checks this
+// address space's page table.
 func (v *VM) CheckInvariants() error {
-	var onFree, mapped int64
-	for fi := range v.frames {
-		f := &v.frames[fi]
-		if f.onFree {
-			onFree++
-		}
-		if f.vpage >= 0 {
-			e := &v.pt[f.vpage]
-			if e.frame != int32(fi) {
-				return fmt.Errorf("vm: frame %d maps page %d, whose pte points to frame %d", fi, f.vpage, e.frame)
-			}
-			mapped++
-		}
-	}
-	if onFree != v.freeCount {
-		return fmt.Errorf("vm: freeCount=%d but %d frames flagged onFree", v.freeCount, onFree)
-	}
-	if mapped > int64(len(v.frames)) {
-		return fmt.Errorf("vm: more mapped frames (%d) than exist (%d)", mapped, len(v.frames))
+	if err := v.pool.CheckInvariants(); err != nil {
+		return err
 	}
 
 	var transitPages int64
@@ -46,11 +33,20 @@ func (v *VM) CheckInvariants() error {
 		if e.state == unmapped && e.dirty {
 			return fmt.Errorf("vm: unmapped page %d is dirty", p)
 		}
-		if e.state == freeListed && !v.frames[e.frame].onFree {
-			return fmt.Errorf("vm: freeListed page %d's frame not on free queue", p)
-		}
-		if (e.state == resident || e.state == hot) && v.frames[e.frame].onFree {
-			return fmt.Errorf("vm: resident page %d's frame on free queue", p)
+		if e.state != unmapped {
+			fi := &v.pool.frames[e.frame]
+			if fi.owner != v {
+				return fmt.Errorf("vm: page %d's frame %d owned by another tenant", p, e.frame)
+			}
+			if fi.vpage != int64(p) {
+				return fmt.Errorf("vm: page %d's frame %d maps page %d", p, e.frame, fi.vpage)
+			}
+			if e.state == freeListed && !fi.onFree {
+				return fmt.Errorf("vm: freeListed page %d's frame not on free queue", p)
+			}
+			if (e.state == resident || e.state == hot) && fi.onFree {
+				return fmt.Errorf("vm: resident page %d's frame on free queue", p)
+			}
 		}
 		if e.state == hot && !e.touched {
 			return fmt.Errorf("vm: hot page %d not marked touched", p)

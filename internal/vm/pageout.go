@@ -1,95 +1,10 @@
 package vm
 
-import "repro/internal/sim"
-
-// daemonDelay is how soon after a low-water crossing the pageout daemon
-// runs, and its re-arm period while it waits for write-backs to finish.
-const daemonDelay = 200 * sim.Microsecond
-
-// kickDaemon schedules a pageout-daemon pass if one is not already
-// pending.
-func (v *VM) kickDaemon() {
-	if v.daemonScheduled {
-		return
-	}
-	v.daemonScheduled = true
-	v.clock.Schedule(daemonDelay, v.daemonRunFn)
-}
-
-// daemonRun is one activation of the pageout daemon: sweep the clock hand,
-// giving referenced pages a second chance, moving clean unreferenced pages
-// to the free list, and starting write-backs for dirty ones, until the
-// free list (plus writes already in flight) reaches the high watermark.
-func (v *VM) daemonRun() {
-	v.daemonScheduled = false
-	v.n.daemonScans++
-	target := v.p.HighWater()
-	budget := 2 * len(v.frames)
-	for v.freeCount+v.cleaningCount < target && budget > 0 {
-		budget--
-		v.evictOne()
-	}
-	if v.freeCount < v.p.LowWater() {
-		// Still short: either writes are in flight (their completions
-		// will refill the list) or everything was referenced; try again
-		// shortly in both cases.
-		v.kickDaemon()
-	}
-}
-
-// evictOne advances the clock hand one frame, applying second chance.
-func (v *VM) evictOne() {
-	f := v.hand
-	v.hand++
-	if int(v.hand) == len(v.frames) {
-		v.hand = 0
-	}
-	fi := &v.frames[f]
-	if fi.vpage < 0 || fi.onFree {
-		return
-	}
-	e := &v.pt[fi.vpage]
-	if (e.state != resident && e.state != hot) || e.cleaning {
-		return
-	}
-	if e.referenced {
-		e.referenced = false // second chance
-		return
-	}
-	if e.dirty {
-		v.startClean(fi.vpage, true, false)
-		return
-	}
-	e.state = freeListed
-	v.bitvec.Clear(fi.vpage)
-	v.pushFreeBack(e.frame)
-}
-
-// syncReclaim is the demand-fault path's last resort: the free list is
-// empty, so sweep for a victim right now. If every frame is pinned by
-// in-flight I/O (reads filling frames, writes cleaning them), stall until
-// some I/O completes and sweep again — a just-arrived prefetched page is
-// a legal victim (it simply becomes a prefetched fault later).
-func (v *VM) syncReclaim() {
-	for {
-		for budget := 2 * len(v.frames); budget > 0 && v.freeCount == 0; budget-- {
-			v.evictOne()
-		}
-		if v.freeCount > 0 {
-			return
-		}
-		if v.cleaningCount == 0 && v.inTransitCount == 0 {
-			panic("vm: out of memory: no evictable pages and no I/O in flight")
-		}
-		gen := v.ioGen
-		v.waitIdle("memory-stall", func() bool {
-			return v.freeCount > 0 || v.ioGen != gen
-		})
-		if v.freeCount > 0 {
-			return
-		}
-	}
-}
+// The pageout daemon, clock-hand eviction, and synchronous reclaim live
+// on the Pool (pool.go): physical memory is pool state, and fair-share
+// reclaim needs the all-tenants view. What remains here is the per-page
+// write-back machinery, which needs the owning address space's page
+// table and backing file.
 
 // startClean begins a write-back of a dirty page. toFree moves the page to
 // the free list once the write completes (unless it was re-dirtied or, for
@@ -102,10 +17,12 @@ func (v *VM) startClean(page int64, toFree, front bool) {
 	e.toFree = toFree
 	e.front = front
 	v.cleaningCount++
+	v.pool.cleaningCount++
 	v.n.writebacks++
 	v.file.Write(page, v.frameWords(e.frame), func() {
 		v.cleaningCount--
-		v.ioGen++
+		v.pool.cleaningCount--
+		v.pool.ioGen++
 		e.cleaning = false
 		if e.dirty || !e.toFree {
 			return // re-dirtied, or a plain flush: stays resident
@@ -116,9 +33,9 @@ func (v *VM) startClean(page int64, toFree, front bool) {
 		e.state = freeListed
 		v.bitvec.Clear(page)
 		if e.front {
-			v.pushFreeFront(e.frame)
+			v.pool.pushFreeFront(e.frame)
 		} else {
-			v.pushFreeBack(e.frame)
+			v.pool.pushFreeBack(e.frame)
 		}
 	})
 }

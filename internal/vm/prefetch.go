@@ -8,7 +8,8 @@ import (
 )
 
 // maxPrefetchQueue is the per-disk queue depth beyond which the OS drops
-// prefetch hints rather than bury demand faults behind them.
+// prefetch hints rather than bury demand faults behind them (the Gold
+// threshold; lower classes drop earlier — see SetClass).
 const maxPrefetchQueue = 12
 
 // PrefetchRelease is the bundled system call of Figure 2: prefetch pages
@@ -96,7 +97,7 @@ func (v *VM) prefetchOne(p int64) bool {
 	case freeListed:
 		// The page is in memory but on the free list: reclaiming it is
 		// useful work (the paper's footnote), not an unnecessary prefetch.
-		v.rescueFromFree(e.frame)
+		v.pool.rescueFromFree(e.frame)
 		e.state = resident
 		e.prefetched = true
 		e.touched = false
@@ -108,22 +109,25 @@ func (v *VM) prefetchOne(p int64) bool {
 		// disk subsystem is overloaded" (§2.2.1). A dropped page's
 		// residency bit is cleared so the run-time layer does not
 		// believe a stale hint. Injected pressure spikes drop hints
-		// through exactly the same path as real pressure.
+		// through exactly the same path as real pressure. The queue and
+		// free-list thresholds are the tenant's class thresholds: lower
+		// classes give up earlier, so best-effort prefetches are the
+		// first dropped under pressure.
 		// The nil check is out here so the fault-free path does not even
 		// read the clock to build the call's arguments.
 		if v.flt != nil && v.flt.DropPrefetch(v.clock.Now(), p) {
 			v.dropPrefetch(e, p)
 			return false
 		}
-		if v.file.QueueLenOf(p) > maxPrefetchQueue {
+		if v.file.QueueLenOf(p) > v.pfQueueMax {
 			v.dropPrefetch(e, p)
 			return false
 		}
-		if v.freeCount <= 2 {
+		if v.pool.freeCount <= v.pfFreeFloor {
 			v.dropPrefetch(e, p)
 			return false
 		}
-		f, ok := v.takeFrame(p, true)
+		f, ok := v.pool.takeFrame(v, p, true)
 		if !ok {
 			v.dropPrefetch(e, p)
 			return false
@@ -131,6 +135,7 @@ func (v *VM) prefetchOne(p int64) bool {
 		e.frame = f
 		e.state = inTransit
 		v.inTransitCount++
+		v.pool.inTransitCount++
 		e.prefetched = true
 		e.touched = false
 		v.n.prefetchIssued++
@@ -160,10 +165,13 @@ func (v *VM) abandonPrefetch(page int64) {
 	e.frame = -1
 	e.touched = false
 	e.referenced = false
-	v.frames[f].vpage = -1
-	v.pushFreeBack(f)
+	// Push while the frame is still mapped so the pool's residency
+	// accounting sees the transition, then sever the mapping.
+	v.pool.pushFreeBack(f)
+	v.pool.frames[f].vpage = -1
 	v.inTransitCount--
-	v.ioGen++
+	v.pool.inTransitCount--
+	v.pool.ioGen++
 	v.bitvec.Clear(page)
 	v.n.prefetchAbandoned++
 	v.trFaults.InstantArg("abandoned", "prefetch", v.clock.Now(), "page", page)
@@ -198,7 +206,7 @@ func (v *VM) releaseOne(p int64) {
 		return
 	}
 	e.state = freeListed
-	v.pushFreeFront(e.frame)
+	v.pool.pushFreeFront(e.frame)
 }
 
 // Preload installs the backing contents of pages [page, page+n) directly
@@ -209,7 +217,7 @@ func (v *VM) Preload(page, n int64) int64 {
 	v.checkRange(page, n)
 	var loaded int64
 	for p := page; p < page+n; p++ {
-		if v.freeCount <= v.p.HighWater() {
+		if v.pool.freeCount <= v.p.HighWater() {
 			break
 		}
 		e := &v.pt[p]
@@ -217,7 +225,7 @@ func (v *VM) Preload(page, n int64) int64 {
 			loaded++
 			continue
 		}
-		f, ok := v.takeFrame(p, true)
+		f, ok := v.pool.takeFrame(v, p, true)
 		if !ok {
 			break
 		}
@@ -246,7 +254,5 @@ func (v *VM) ResetAccounting() {
 	v.flushUser()
 	v.n = tally{}
 	v.c.publish(&v.n)
-	v.freeIntegral = 0
-	v.lastFreeSample = v.clock.Now()
-	v.accountingStart = v.clock.Now()
+	v.pool.ResetAccounting()
 }

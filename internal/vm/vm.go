@@ -8,12 +8,18 @@
 // the head of the free list; a pageout daemon with a clock (second-chance)
 // hand keeps the free list stocked; and a bit-vector page shared with the
 // run-time layer tracks believed residency.
+//
+// Physical memory lives in a Pool that many address spaces can share
+// (the multi-tenant server), with per-tenant residency quotas and
+// fair-share reclaim; a single run owns a private pool and behaves
+// exactly as the original single-tenant memory manager did.
 package vm
 
 import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/disk"
 	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/obs"
@@ -62,39 +68,29 @@ type pte struct {
 // frameInfo describes one physical page frame.
 type frameInfo struct {
 	vpage  int64 // current mapping, -1 if none
+	owner  *VM   // address space of the mapping, nil if never mapped
 	onFree bool  // currently a member of the free queue
 }
 
-// VM is one simulated address space plus the memory manager behind it.
+// VM is one simulated address space: a page table over a backing file,
+// served by a frame Pool it may share with other address spaces.
 type VM struct {
 	clock *sim.Clock
 	p     hw.Params
 	file  *stripefs.File
+	pool  *Pool
+	tid   int32 // tenant id: index among the pool's address spaces
 
 	pageShift uint
 	pageMask  int64
 	pageWords int64 // PageSize / 8
 	wordShift uint  // pageShift - 3: frame index → word index
 
-	pt     []pte
-	frames []frameInfo
-	words  []uint64 // frame storage, p.Frames() × PageSize/8 words
+	pt    []pte
+	words []uint64 // the pool's frame storage (aliased for the hot path)
 
-	// Free queue: a growable ring buffer of frame indices. Entries whose
-	// frame has onFree == false are stale and skipped on pop (lazy
-	// deletion); the ring grows when stale entries pile up.
-	freeQ     []int32
-	freeHead  int
-	freeTail  int
-	freeSlots int   // occupied slots, live + stale
-	freeCount int64 // live entries
-
-	hand int32 // clock-algorithm hand over frames
-
-	daemonScheduled bool
-	cleaningCount   int64  // write-backs in flight
-	inTransitCount  int64  // reads in flight
-	ioGen           uint64 // bumped on every I/O completion
+	cleaningCount  int64 // this space's write-backs in flight
+	inTransitCount int64 // this space's reads in flight
 
 	// Lazy user-time accounting: the executor adds op counts; they are
 	// converted to clock time at every kernel crossing.
@@ -102,14 +98,20 @@ type VM struct {
 
 	bitvec *BitVector
 
-	// Time-weighted free-frame integral for Table 3's "% memory free".
-	freeIntegral    float64
-	lastFreeSample  sim.Time
-	accountingStart sim.Time
-
 	// Allocation bump pointer, in pages.
 	allocPages int64
 	regions    []Region
+
+	// Residency quota (frames; 0 = unlimited) and current residency,
+	// maintained by the pool at every frame transition.
+	quota    int64
+	resident int64
+
+	// Prefetch-priority class and the drop thresholds derived from it.
+	// The defaults are the Gold (paper-original) thresholds.
+	class       disk.Class
+	pfQueueMax  int
+	pfFreeFloor int64
 
 	// Fault plane (nil injects nothing): synthetic memory-pressure spikes
 	// that drop otherwise-acceptable prefetch hints.
@@ -118,10 +120,9 @@ type VM struct {
 	// I/O callbacks bound once at construction so the hint and fault
 	// paths hand stripefs the same three method values on every read —
 	// a fresh closure per request would allocate.
-	dstFn       func(page int64) []uint64
-	arrivedFn   func(page int64)
-	abandonFn   func(page int64)
-	daemonRunFn func()
+	dstFn     func(page int64) []uint64
+	arrivedFn func(page int64)
+	abandonFn func(page int64)
 
 	// Hot-path accounting (plain fields; see tally in stats.go), the
 	// registry handles it publishes to, and trace tracks. The tracks are
@@ -153,42 +154,44 @@ func New(clock *sim.Clock, p hw.Params, file *stripefs.File) *VM {
 // NewObserved is New with the run's observability sinks attached: the
 // VM's counters register in o's registry and its spans and
 // fault-classification instants go to tracks of o's trace process.
+// The address space gets a private frame pool.
 func NewObserved(clock *sim.Clock, p hw.Params, file *stripefs.File, o *obs.RunObs) *VM {
-	if err := p.Validate(); err != nil {
-		panic(err)
-	}
-	nf := p.Frames()
+	return NewPool(clock, p).Attach(file, o)
+}
+
+// Attach creates an address space over file served by this pool. The
+// tenant starts with no residency quota (unlimited) and the Gold
+// prefetch class; set both before running it. Observability sinks work
+// as in NewObserved; in multi-tenant servers each tenant usually gets
+// its own registry and trace process so counter names do not collide.
+func (pl *Pool) Attach(file *stripefs.File, o *obs.RunObs) *VM {
+	p := pl.p
 	v := &VM{
-		clock:     clock,
+		clock:     pl.clock,
 		p:         p,
 		file:      file,
+		pool:      pl,
+		tid:       int32(len(pl.vms)),
 		pageShift: uint(bits.TrailingZeros64(uint64(p.PageSize))),
 		pageMask:  p.PageSize - 1,
 		pageWords: p.PageSize / 8,
-		wordShift: uint(bits.TrailingZeros64(uint64(p.PageSize))) - 3,
+		wordShift: wordShiftOf(p.PageSize),
 		pt:        make([]pte, file.Pages()),
-		frames:    make([]frameInfo, nf),
-		words:     make([]uint64, nf*(p.PageSize/8)),
-		freeQ:     make([]int32, nf+1),
+		words:     pl.words,
 	}
 	v.dstFn = v.framePageWords
 	v.arrivedFn = v.finishRead
 	v.abandonFn = v.abandonPrefetch
-	v.daemonRunFn = v.daemonRun
+	v.pfQueueMax = maxPrefetchQueue
+	v.pfFreeFloor = 2
 	for i := range v.pt {
 		v.pt[i].frame = -1
-	}
-	for i := range v.frames {
-		v.frames[i].vpage = -1
 	}
 	v.c = newCounters(o.Registry())
 	v.trCPU = o.Thread("cpu")
 	v.trFaults = o.Thread("faults")
-	// All frames start free (with no content).
-	for i := int32(0); i < int32(nf); i++ {
-		v.pushFreeBack(i)
-	}
 	v.bitvec = newBitVector(file.Pages())
+	pl.vms = append(pl.vms, v)
 	return v
 }
 
@@ -203,14 +206,66 @@ func (v *VM) Params() hw.Params { return v.p }
 // Clock returns the simulated clock.
 func (v *VM) Clock() *sim.Clock { return v.clock }
 
+// Pool returns the frame pool serving this address space.
+func (v *VM) Pool() *Pool { return v.pool }
+
+// TenantID returns this address space's index within its pool.
+func (v *VM) TenantID() int32 { return v.tid }
+
+// SetQuota sets this tenant's residency quota in frames; 0 means
+// unlimited (the single-tenant default). A tenant holding more frames
+// than its quota is reclaimed first by the pool's fair-share sweeps;
+// tenants at or under quota are protected while any tenant is over.
+func (v *VM) SetQuota(frames int64) { v.pool.setQuota(v, frames) }
+
+// Quota returns the tenant's residency quota (0 = unlimited).
+func (v *VM) Quota() int64 { return v.quota }
+
+// ResidentFrames returns the number of pool frames this tenant currently
+// holds (mapped and not on the free list; in-transit reads count, since
+// their frames are committed).
+func (v *VM) ResidentFrames() int64 { return v.resident }
+
+// overQuota reports whether the tenant holds more frames than its quota
+// allows (never true for quota 0 = unlimited).
+func (v *VM) overQuota() bool { return v.quota > 0 && v.resident > v.quota }
+
+// SetClass sets this tenant's prefetch-priority class, which picks the
+// OS's prefetch drop thresholds — Gold keeps the paper's originals;
+// Silver and BestEffort give up earlier under queue and memory pressure,
+// so best-effort prefetches are the first dropped — and tags the
+// tenant's disk requests so a QoS scheduler can order them.
+func (v *VM) SetClass(c disk.Class) {
+	v.class = c
+	switch c {
+	case disk.Silver:
+		v.pfQueueMax = maxPrefetchQueue * 2 / 3
+		v.pfFreeFloor = v.p.LowWater() / 2
+		if v.pfFreeFloor < 4 {
+			v.pfFreeFloor = 4
+		}
+	case disk.BestEffort:
+		v.pfQueueMax = maxPrefetchQueue / 3
+		v.pfFreeFloor = v.p.LowWater()
+	default:
+		v.pfQueueMax = maxPrefetchQueue
+		v.pfFreeFloor = 2
+	}
+	v.file.SetTag(v.tid, c)
+}
+
+// Class returns the tenant's prefetch-priority class.
+func (v *VM) Class() disk.Class { return v.class }
+
 // BitVector returns the shared residency page (the run-time layer calls
 // this at registration).
 func (v *VM) BitVector() *BitVector { return v.bitvec }
 
 // Stats returns a snapshot of the event counters, publishing them into
 // the metrics registry as a side effect (so a registry snapshot taken
-// after any view read is current).
+// after any view read is current). DaemonScans is pool-wide.
 func (v *VM) Stats() Stats {
+	v.n.daemonScans = v.pool.scans
 	v.c.publish(&v.n)
 	return v.n.stats()
 }
@@ -218,26 +273,20 @@ func (v *VM) Stats() Stats {
 // Times returns a snapshot of the time breakdown, with any pending user
 // compute folded in. Like Stats, it publishes to the metrics registry.
 func (v *VM) Times() TimeStats {
+	v.n.daemonScans = v.pool.scans
 	v.c.publish(&v.n)
 	t := v.n.times()
 	t.User += sim.Time(v.pendingUserOps) * v.p.OpTime
 	return t
 }
 
-// FreeFrames returns the current number of frames on the free list.
-func (v *VM) FreeFrames() int64 { return v.freeCount }
+// FreeFrames returns the current number of frames on the pool's free
+// list.
+func (v *VM) FreeFrames() int64 { return v.pool.freeCount }
 
 // AvgFreeFrac returns the time-averaged fraction of memory on the free
-// list since accounting began (Table 3).
-func (v *VM) AvgFreeFrac() float64 {
-	now := v.clock.Now()
-	elapsed := now - v.accountingStart
-	if elapsed == 0 {
-		return float64(v.freeCount) / float64(len(v.frames))
-	}
-	integ := v.freeIntegral + float64(v.freeCount)*float64(now-v.lastFreeSample)
-	return integ / (float64(elapsed) * float64(len(v.frames)))
-}
+// list since accounting began (Table 3). Pool-wide.
+func (v *VM) AvgFreeFrac() float64 { return v.pool.AvgFreeFrac() }
 
 // Alloc reserves a page-aligned region of the address space. Array data
 // structures of the application live in these regions.
@@ -279,6 +328,12 @@ func (v *VM) AddUserTimeN(t sim.Time, n int64) {
 	v.pendingUserOps += n * (int64(t) / int64(v.p.OpTime))
 }
 
+// FlushUser folds pending user compute into the simulated clock. The
+// multi-tenant scheduler calls it at every slice boundary so one
+// tenant's compute lands on the shared clock before the next tenant
+// runs; within a single run every kernel crossing flushes implicitly.
+func (v *VM) FlushUser() { v.flushUser() }
+
 // flushUser converts pending user ops into simulated time. Every kernel
 // entry calls it first so that event ordering is correct.
 func (v *VM) flushUser() {
@@ -309,93 +364,6 @@ func (v *VM) waitIdle(name string, cond func() bool) {
 	v.trCPU.Span(name, "idle", start, d)
 }
 
-// ---- free-queue bookkeeping -------------------------------------------
-
-func (v *VM) sampleFree() {
-	now := v.clock.Now()
-	v.freeIntegral += float64(v.freeCount) * float64(now-v.lastFreeSample)
-	v.lastFreeSample = now
-}
-
-func (v *VM) pushFreeBack(f int32) {
-	if v.frames[f].onFree {
-		return
-	}
-	v.sampleFree()
-	v.growFreeQ()
-	v.frames[f].onFree = true
-	v.freeQ[v.freeTail] = f
-	v.freeTail = (v.freeTail + 1) % len(v.freeQ)
-	v.freeSlots++
-	v.freeCount++
-}
-
-// pushFreeFront puts a frame at the head of the free queue, so it is
-// reused first — this is what release does ("a good candidate for
-// replacement").
-func (v *VM) pushFreeFront(f int32) {
-	if v.frames[f].onFree {
-		return
-	}
-	v.sampleFree()
-	v.growFreeQ()
-	v.frames[f].onFree = true
-	v.freeHead = (v.freeHead - 1 + len(v.freeQ)) % len(v.freeQ)
-	v.freeQ[v.freeHead] = f
-	v.freeSlots++
-	v.freeCount++
-}
-
-// growFreeQ makes room for one more entry, compacting stale slots away
-// when the ring fills.
-func (v *VM) growFreeQ() {
-	if v.freeSlots+1 < len(v.freeQ) {
-		return
-	}
-	live := make([]int32, 0, v.freeCount)
-	for v.freeHead != v.freeTail {
-		f := v.freeQ[v.freeHead]
-		v.freeHead = (v.freeHead + 1) % len(v.freeQ)
-		if v.frames[f].onFree {
-			live = append(live, f)
-		}
-	}
-	if len(live)+1 >= len(v.freeQ) {
-		v.freeQ = make([]int32, 2*len(v.freeQ))
-	}
-	copy(v.freeQ, live)
-	v.freeHead = 0
-	v.freeTail = len(live)
-	v.freeSlots = len(live)
-}
-
-// popFree removes and returns the next free frame, skipping stale entries.
-// It reports false when the free list is empty.
-func (v *VM) popFree() (int32, bool) {
-	for v.freeHead != v.freeTail {
-		f := v.freeQ[v.freeHead]
-		v.freeHead = (v.freeHead + 1) % len(v.freeQ)
-		v.freeSlots--
-		if v.frames[f].onFree {
-			v.sampleFree()
-			v.frames[f].onFree = false
-			v.freeCount--
-			return f, true
-		}
-	}
-	return 0, false
-}
-
-// rescueFromFree takes a specific frame off the free queue (lazy removal).
-func (v *VM) rescueFromFree(f int32) {
-	if !v.frames[f].onFree {
-		panic("vm: rescue of frame not on free list")
-	}
-	v.sampleFree()
-	v.frames[f].onFree = false
-	v.freeCount--
-}
-
 // frameWords returns the storage of frame f as 8-byte words.
 func (v *VM) frameWords(f int32) []uint64 {
 	off := int64(f) * v.pageWords
@@ -409,32 +377,6 @@ func (v *VM) frameWords(f int32) []uint64 {
 // read was issued for.
 func (v *VM) framePageWords(page int64) []uint64 {
 	return v.frameWords(v.pt[page].frame)
-}
-
-// ---- frame allocation ---------------------------------------------------
-
-// takeFrame obtains a free frame for vpage, evicting synchronously if the
-// free list is empty (the demand-fault path). It returns false only in
-// mayFail mode (the prefetch path, where the paper's OS simply drops the
-// request when all memory is in use).
-func (v *VM) takeFrame(vpage int64, mayFail bool) (int32, bool) {
-	for {
-		if f, ok := v.popFree(); ok {
-			if old := v.frames[f].vpage; old >= 0 {
-				v.invalidate(old)
-				v.n.reclaims++
-			}
-			v.frames[f].vpage = vpage
-			if v.freeCount < v.p.LowWater() {
-				v.kickDaemon()
-			}
-			return f, true
-		}
-		if mayFail {
-			return 0, false
-		}
-		v.syncReclaim()
-	}
 }
 
 // invalidate severs a page's mapping when its frame is reused.

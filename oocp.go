@@ -31,6 +31,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/disk"
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/hw"
@@ -374,3 +375,21 @@ func AblateAllContext(ctx context.Context, w io.Writer, scale float64, r Runner)
 func ExplainFastPath(w io.Writer, scale float64) error {
 	return bench.ExplainFastPath(w, scale)
 }
+
+// TenantOptions configures the multi-tenant service benchmark: N tenant
+// kernels sharing one frame pool and disk array under residency quotas,
+// prefetch-priority classes, and admission control.
+type TenantOptions = bench.TenantOptions
+
+// QoSClass is a tenant's prefetch-priority class (gold, silver,
+// best-effort).
+type QoSClass = disk.Class
+
+// ParseQoSClasses parses a comma-separated class list such as
+// "gold,silver,be" into a per-tenant assignment.
+func ParseQoSClasses(spec string) ([]QoSClass, error) { return bench.ParseClasses(spec) }
+
+// Tenants runs the multi-tenant service benchmark and prints per-tenant
+// completion, stall, fault, and QoS statistics. Same options and seed,
+// byte-identical output.
+func Tenants(w io.Writer, opts TenantOptions) error { return bench.Tenants(w, opts) }
