@@ -5,17 +5,18 @@ STATICCHECK_VERSION ?= 2025.1.1
 
 # The benchmark gate covers the observability substrate, the VM hot
 # paths (per-element and page-run), the storage backends' fault-free
-# service cycle, one end-to-end kernel host-time figure, and the
-# multi-tenant scheduler's steady-state step (which must stay
+# service cycle, the end-to-end kernel host-time figures (static and
+# profile-guided), the multi-tenant scheduler's steady-state step, and
+# the profile recorder's observation step (the latter two must stay
 # zero-alloc) — regressions here mean the tracer/registry layer, a
-# device engine, the executor fast path, or the tenant scheduler leaked
-# cost into every simulated event.
-BENCH_PKGS = ./internal/obs ./internal/vm ./internal/disk ./internal/bench ./internal/tenant
+# device engine, the executor fast path, the tenant scheduler, or the
+# pass-1 recorder leaked cost into every simulated event.
+BENCH_PKGS = ./internal/obs ./internal/vm ./internal/disk ./internal/bench ./internal/tenant ./internal/profile
 # -count 3 with benchdiff keeping each benchmark's fastest run damps
 # allocator and scheduler noise enough for a 15% gate.
 BENCH_FLAGS = -bench=. -benchmem -benchtime 200ms -count 3 -run '^$$'
 
-.PHONY: ci fmt-check vet staticcheck build test race fuzz test-faults test-fastpath test-backends test-tenants bench bench-check bench-baseline
+.PHONY: ci fmt-check vet staticcheck build test race fuzz test-faults test-fastpath test-backends test-tenants test-profile bench bench-check bench-baseline
 
 # ci is the gate: formatting, static checks, build, tests, the
 # race-detector pass over the concurrent experiment runner, a
@@ -87,6 +88,19 @@ test-tenants:
 	$(GO) test ./internal/tenant/ -count 1
 	$(GO) test ./internal/vm/ -run 'TestReclaim|TestQuota|TestPool'
 	$(GO) test ./cmd/benchdiff/
+
+# test-profile runs the two-pass profile-guided gate: the artifact
+# round trip and typed error surface, recorder accounting, site-key
+# alignment with the locality analysis, the compiler's profile
+# decisions and cross-kernel mismatch degradation, and the harness
+# property matrix (recording is tick-identical to the original run;
+# static/record/use all fingerprint identically across storage tiers;
+# profile-guided coverage strictly above static on the indirect
+# kernels and never a regression on the dense ones).
+test-profile:
+	$(GO) test ./internal/profile/ -count 1
+	$(GO) test ./internal/compiler/ -run TestProfile
+	$(GO) test ./internal/fault/harness/ -run 'TestProfileModesByteIdentical|TestProfileCoverageDifferential'
 
 # test-fastpath runs the executor fast-path differential property: every
 # NAS proxy and example kernel must be tick-identical with page-run

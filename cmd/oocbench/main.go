@@ -6,6 +6,7 @@
 //	         [-scale F] [-ratio F] [-mem MB]
 //	         [-parallel N] [-timeout D] [-progress]
 //	         [-backend SPEC] [-faults SPEC] [-trace FILE] [-metrics FILE]
+//	         [-profile-record FILE | -profile-use FILE]
 //	         [-tenants N] [-qos CLASSES] [-seed N]
 //	         [-explain-fastpath] [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -36,6 +37,19 @@
 // unchanged — only timing and the fault.* / disk.*.retries counters
 // move. Combining -faults with an experiment that runs no suite is a
 // usage error rather than a silent no-op.
+//
+// -profile-record and -profile-use are the two passes of profile-guided
+// prefetch insertion. -profile-record runs every NAS app once in its
+// original configuration at -scale/-ratio with observation-only
+// instrumentation (tick-identical to a plain run), writes the recorded
+// per-reference profiles to FILE as a versioned artifact, and exits —
+// it composes with -backend and -faults (record under the configuration
+// you intend to run) but not with -exp. -profile-use FILE feeds the
+// artifact back into every suite prefetching run, replacing the
+// compiler's static distance model with observed miss latencies and
+// hinting references static analysis skips; like -backend it requires a
+// suite experiment. The two flags are mutually exclusive. Results are
+// identical either way — profiles move hints, never data.
 //
 // -trace writes a Chrome trace-event JSON timeline of every simulated
 // run (load it in Perfetto or chrome://tracing); -metrics writes a flat
@@ -95,6 +109,8 @@ func main() {
 	faultSpec := flag.String("faults", "", `fault profile for suite runs ("brownout", "profile=chaos,seed=7", ...)`)
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	metricsPath := flag.String("metrics", "", "write a flat JSON metrics snapshot to this file")
+	profileRecord := flag.String("profile-record", "", "record NAS execution profiles (pass 1) into FILE, then exit")
+	profileUse := flag.String("profile-use", "", "guide suite prefetching runs with a recorded profile artifact (pass 2)")
 	tenants := flag.Int("tenants", 0, "run the multi-tenant service benchmark with N tenants sharing one pool")
 	qosSpec := flag.String("qos", "", `per-tenant QoS classes for -tenants ("gold,silver,be", cycled)`)
 	seed := flag.Uint64("seed", 1, "deterministic scheduling seed for -tenants")
@@ -133,10 +149,22 @@ func main() {
 			}
 		}
 	})
+	if *profileRecord != "" && *profileUse != "" {
+		usage("-profile-record and -profile-use are mutually exclusive: record pass 1, then run pass 2")
+	}
+	if *profileRecord != "" {
+		// The record pass is its own run matrix; the experiment
+		// selection has nothing to select.
+		for _, name := range []string{"exp", "mem", "explain-fastpath"} {
+			if set[name] {
+				usage("-%s does not apply to -profile-record", name)
+			}
+		}
+	}
 	if set["tenants"] {
 		// The tenant service is one deterministic simulation; the run
 		// matrix and experiment-selection flags have nothing to select.
-		for _, name := range []string{"exp", "ratio", "mem", "parallel", "timeout", "progress", "explain-fastpath"} {
+		for _, name := range []string{"exp", "ratio", "mem", "parallel", "timeout", "progress", "explain-fastpath", "profile-record", "profile-use"} {
 			if set[name] {
 				usage("-%s does not apply to the -tenants service benchmark", name)
 			}
@@ -259,6 +287,9 @@ func main() {
 	w := os.Stdout
 
 	needSuite := func() bool {
+		if *profileRecord != "" {
+			return true // the record pass is a suite run matrix
+		}
 		switch *exp {
 		case "all", "fig3", "fig4", "fig5", "table3":
 			return true
@@ -290,6 +321,44 @@ func main() {
 		faults = &prof
 	}
 
+	if *profileRecord != "" {
+		fmt.Fprintln(w, "recording NAS execution profiles (pass 1, original configuration)...")
+		profs, err := oocp.RecordProfiles(ctx, oocp.SuiteOptions{
+			Scale:       *scale,
+			Ratio:       *ratio,
+			Parallelism: *parallel,
+			Timeout:     *timeout,
+			Progress:    progressFn,
+			Trace:       trace,
+			Metrics:     metrics,
+			Faults:      faults,
+			Backend:     backend,
+		})
+		fail(err)
+		data, err := oocp.MarshalProfiles(profs)
+		fail(err)
+		fail(os.WriteFile(*profileRecord, data, 0o644))
+		fmt.Fprintf(w, "wrote %d kernel profiles to %s\n", len(profs.Kernels), *profileRecord)
+		if trace != nil {
+			fail(writeFile(*tracePath, trace.WriteJSON))
+		}
+		if metrics != nil {
+			fail(writeFile(*metricsPath, metrics.WriteJSON))
+		}
+		return
+	}
+
+	var profiles *oocp.ProfileSet
+	if *profileUse != "" {
+		if !needSuite() {
+			usage("-profile-use applies to the NAS suite experiments (all, fig3, fig4, fig5, table3), not -exp %s", *exp)
+		}
+		data, err := os.ReadFile(*profileUse)
+		fail(err)
+		profiles, err = oocp.UnmarshalProfiles(data)
+		fail(err)
+	}
+
 	if *exp == "all" || *exp == "table1" {
 		oocp.Table1(w)
 		fmt.Fprintln(w)
@@ -311,6 +380,7 @@ func main() {
 			Metrics:     metrics,
 			Faults:      faults,
 			Backend:     backend,
+			ProfileUse:  profiles,
 		})
 		fail(err)
 		fmt.Fprintln(w)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/nas"
 	"repro/internal/obs"
+	"repro/internal/profile"
 )
 
 // AppResult bundles the runs of one application under one problem size.
@@ -83,6 +84,10 @@ type RunOptions struct {
 	// (core.Config.Backend). Results are identical across tiers by
 	// construction; timing is not.
 	Backend *core.BackendSpec
+	// ProfileUse, if non-nil, feeds each prefetching variant the matching
+	// kernel's recorded execution profile (pass 2 of the two-pass mode;
+	// see RecordProfiles). Kernels absent from the set compile statically.
+	ProfileUse *profile.Set
 }
 
 // SuiteOptions configure a whole-suite run.
@@ -114,6 +119,10 @@ type SuiteOptions struct {
 	// Backend, if non-nil, runs the whole suite on the spec's storage
 	// tier (core.Config.Backend).
 	Backend *core.BackendSpec
+	// ProfileUse, if non-nil, feeds every prefetching run the matching
+	// kernel's recorded execution profile (pass 2 of the two-pass mode;
+	// see RecordProfiles). Kernels absent from the set compile statically.
+	ProfileUse *profile.Set
 }
 
 func (o SuiteOptions) runner() *Runner {
@@ -181,7 +190,7 @@ func appConfig(app *nas.App, scale, ratio float64, mutate func(*core.Config)) (*
 // a process named label, and its counters (which land in a per-run
 // private registry, so concurrent siblings never contend) merge into
 // snk.metrics under "label/" once it completes.
-func runVariant(ctx context.Context, app *nas.App, scale, ratio float64, mutate, adjust func(*core.Config), snk sinks, label string) (*core.Result, error) {
+func runVariant(ctx context.Context, app *nas.App, scale, ratio float64, mutate, adjust func(*core.Config), profiles *profile.Set, snk sinks, label string) (*core.Result, error) {
 	cfg, _, err := appConfig(app, scale, ratio, mutate)
 	if err != nil {
 		return nil, err
@@ -192,6 +201,13 @@ func runVariant(ctx context.Context, app *nas.App, scale, ratio float64, mutate,
 	cfg.Trace = snk.trace
 	cfg.TraceName = label
 	prog := app.Build(scale)
+	// Profiles guide only the prefetching variants (Use requires
+	// Prefetch), and an explicit per-variant ProfileSpec wins.
+	if cfg.Prefetch && cfg.Profile == nil {
+		if p := profiles.For(prog.Name); p != nil {
+			cfg.Profile = &core.ProfileSpec{Use: p}
+		}
+	}
 	res, err := core.RunContext(ctx, prog, *cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", app.Name, err)
@@ -208,7 +224,7 @@ func runVariant(ctx context.Context, app *nas.App, scale, ratio float64, mutate,
 // appVariantJobs returns the runner jobs for one app's configuration
 // variants, writing each result into its slot of out. ratio must
 // already be resolved.
-func appVariantJobs(app *nas.App, scale, ratio float64, mutate func(*core.Config), withNoRT bool, out *AppResult, snk sinks, base string) []Job {
+func appVariantJobs(app *nas.App, scale, ratio float64, mutate func(*core.Config), withNoRT bool, profiles *profile.Set, out *AppResult, snk sinks, base string) []Job {
 	if base == "" {
 		base = app.Name
 	}
@@ -217,7 +233,7 @@ func appVariantJobs(app *nas.App, scale, ratio float64, mutate func(*core.Config
 		return Job{
 			Label: label,
 			Run: func(ctx context.Context) error {
-				r, err := runVariant(ctx, app, scale, ratio, mutate, adjust, snk, label)
+				r, err := runVariant(ctx, app, scale, ratio, mutate, adjust, profiles, snk, label)
 				if err != nil {
 					return err
 				}
@@ -257,7 +273,7 @@ func RunAppContext(ctx context.Context, app *nas.App, opts RunOptions) (*AppResu
 	out := &AppResult{Name: app.Name, DataBytes: data, Machine: cfg.Machine}
 	r := &Runner{Parallelism: opts.Parallelism, Timeout: opts.Timeout}
 	snk := sinks{trace: opts.Trace, metrics: opts.Metrics}
-	if _, err := r.Run(ctx, appVariantJobs(app, scale, ratio, mutate, opts.WithNoRT, out, snk, opts.Label)); err != nil {
+	if _, err := r.Run(ctx, appVariantJobs(app, scale, ratio, mutate, opts.WithNoRT, opts.ProfileUse, out, snk, opts.Label)); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -302,7 +318,7 @@ func RunSuiteContext(ctx context.Context, opts SuiteOptions) ([]*AppResult, erro
 			return nil, err
 		}
 		results[i] = &AppResult{Name: app.Name, DataBytes: data, Machine: cfg.Machine}
-		jobs = append(jobs, appVariantJobs(app, scale, ratio, mutate, opts.WithNoRT, results[i], snk, "")...)
+		jobs = append(jobs, appVariantJobs(app, scale, ratio, mutate, opts.WithNoRT, opts.ProfileUse, results[i], snk, "")...)
 	}
 	if _, err := opts.runner().Run(ctx, jobs); err != nil {
 		return nil, err
@@ -321,6 +337,58 @@ func RunSuite(scale, ratio float64, withNoRT bool) ([]*AppResult, error) {
 		Ratio:    ratio,
 		WithNoRT: withNoRT,
 	})
+}
+
+// RecordProfiles runs pass 1 of the two-pass profile-guided mode over
+// the whole NAS suite: every app executes once in its original (no
+// prefetching) configuration with observation-only instrumentation —
+// tick-identical to a plain run — and the per-reference recordings come
+// back as one artifact set keyed by kernel name. Feed the set back
+// through SuiteOptions.ProfileUse (or oocbench -profile-use) for
+// pass 2. Scale, ratio, backend, and fault options shape what the
+// recording observes, so record under the configuration you intend to
+// run; WithNoRT and ProfileUse are ignored.
+func RecordProfiles(ctx context.Context, opts SuiteOptions) (*profile.Set, error) {
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	apps := nas.Apps()
+	profs := make([]*profile.Profile, len(apps))
+	snk := sinks{trace: opts.Trace, metrics: opts.Metrics}
+	mutate := withBackend(withFaults(opts.ConfigMutator, opts.Faults), opts.Backend)
+	record := func(c *core.Config) {
+		c.Prefetch = false
+		c.Profile = &core.ProfileSpec{Record: true}
+	}
+	var jobs []Job
+	for i, app := range apps {
+		i, app := i, app
+		ratio := opts.Ratio
+		if ratio <= 0 {
+			ratio = app.Ratio()
+		}
+		label := app.Name + "/record"
+		jobs = append(jobs, Job{
+			Label: label,
+			Run: func(ctx context.Context) error {
+				r, err := runVariant(ctx, app, scale, ratio, mutate, record, nil, snk, label)
+				if err != nil {
+					return err
+				}
+				profs[i] = r.Profile
+				return nil
+			},
+		})
+	}
+	if _, err := opts.runner().Run(ctx, jobs); err != nil {
+		return nil, err
+	}
+	set := profile.NewSet()
+	for _, p := range profs {
+		set.Add(p)
+	}
+	return set, nil
 }
 
 // TwoVersionOptions returns compiler options with the §4.1.1 two-version

@@ -17,6 +17,42 @@ func BenchmarkKernelHostTime(b *testing.B) {
 	benchHostTime(b, nas.CGM(), 0.1, 2)
 }
 
+// BenchmarkKernelHostTimeProfileUse is BenchmarkKernelHostTime in the
+// two-pass mode: the profile is recorded once outside the timer, and
+// every timed iteration compiles and runs with it. Guiding the compiler
+// from a profile must cost no more on the host than the static
+// distance model it replaces — the lookup is one map probe per
+// reference site at compile time and nothing at run time.
+func BenchmarkKernelHostTimeProfileUse(b *testing.B) {
+	app := nas.CGM()
+	const scale, ratio = 0.1, 2
+	prog0 := app.Build(scale)
+	ps := hw.Default().PageSize
+	if err := prog0.Resolve(ps); err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.MachineFor(nas.DataBytes(prog0, ps), ratio))
+	cfg.Seed = app.Seed
+
+	rcfg := cfg
+	rcfg.Prefetch = false
+	rcfg.Profile = &core.ProfileSpec{Record: true}
+	rec, err := core.Run(app.Build(scale), rcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Profile = &core.ProfileSpec{Use: rec.Profile}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog := app.Build(scale)
+		if _, err := core.Run(prog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHostTimeNAS is the per-application host-time matrix: every
 // NAS proxy end-to-end at a reduced scale, so a regression localized to
 // one app's loop shapes (indirect gather, 2-D nests, branches, FFT's

@@ -19,6 +19,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/ir"
 	"repro/internal/locality"
+	"repro/internal/profile"
 )
 
 // Options configure the pass.
@@ -46,6 +47,17 @@ type Options struct {
 	// reference, so prefetched data cannot flood memory. Zero derives a
 	// cap from the machine's memory size.
 	MaxDistancePages int64
+
+	// Profile, if non-nil, feeds a recorded execution profile back into
+	// scheduling (pass 2 of the two-pass mode): observed miss latencies
+	// and per-iteration times replace the static hw.AvgPageRead distance
+	// formula, indirect references may pipeline along outer driving
+	// loops, and references static analysis cannot cover (short-trip
+	// dense loops, opaque subscripts with a dominant run-time stride)
+	// gain hints. References that do not match the profile keep their
+	// static plan and are counted in Result.ProfileMismatches. With a
+	// nil Profile the output is bit-identical to the static compiler.
+	Profile *profile.Profile
 }
 
 // DefaultOptions mirror the paper's configuration.
@@ -63,12 +75,19 @@ type PlanEntry struct {
 	Dist     int64  // lead distance, iterations of the pipeline loop
 	Release  bool
 	Covered  bool
+	Profiled bool // true when the profile changed this entry's decision
 }
 
 // Result is the compiler's output.
 type Result struct {
 	Prog *ir.Program
 	Plan []PlanEntry
+
+	// ProfileMismatches counts reference sites without a matching record
+	// and records without a matching site when Options.Profile was set
+	// (e.g. a profile recorded on another kernel); mismatched sites keep
+	// their static plan.
+	ProfileMismatches int64
 }
 
 // PlanString renders the plan as a table for the compiler driver.
@@ -96,6 +115,27 @@ type job struct {
 	dist     int64 // lead distance in iterations (multiple of stripLen)
 	release  bool
 	top      *ir.Loop // outermost enclosing loop (budget domain)
+
+	// Profile-guided extensions (all zero in a static compile):
+	// pipe, when non-nil, is an outer driving loop the distance counts
+	// iterations of while the hint itself stays planted per-iteration at
+	// the attach loop (indirect refs whose latency cannot fit the inner
+	// trip count). selfStride, when non-zero, emits self-relative hints
+	// at ref.Idx + selfStride elements (opaque refs with a dominant
+	// observed stride). arrPages caps the in-flight page estimate for
+	// indirect streams, whose distinct target pages cannot exceed the
+	// array. preloadPages, when non-zero, block-prefetches that many
+	// pages of the target array before the top-level nest: a profile
+	// whose fault count is on the order of the array's page count shows
+	// cold misses over a small footprint, which cluster early (random
+	// keys touch every page almost immediately) where no steady-state
+	// lead distance can reach them. profiled marks the job for the plan
+	// and vacuity guards.
+	pipe         *ir.Loop
+	selfStride   int64
+	arrPages     int64
+	preloadPages int64
+	profiled     bool
 }
 
 // inFlightPages returns how many pages this job keeps in flight.
@@ -103,7 +143,11 @@ func (j *job) inFlightPages() int64 {
 	if j.stripLen == 0 {
 		return 0
 	}
-	return j.dist / j.stripLen * j.pages
+	n := j.dist / j.stripLen * j.pages
+	if j.arrPages > 0 && n > j.arrPages {
+		n = j.arrPages
+	}
+	return n
 }
 
 // Compile runs the pass. The program must already be resolved against the
@@ -144,15 +188,21 @@ func Compile(p *ir.Program, machine hw.Params, opt Options) (*Result, error) {
 	}
 
 	t := &transform{
-		an:      an,
-		machine: machine,
-		opt:     opt,
-		out:     cloneProgram(p),
-		jobs:    map[*ir.Loop][]job{},
+		an:       an,
+		machine:  machine,
+		opt:      opt,
+		out:      cloneProgram(p),
+		jobs:     map[*ir.Loop][]job{},
+		preloads: map[*ir.Loop][]ir.Stmt{},
 	}
 	res := &Result{Prog: t.out}
+	if opt.Profile != nil {
+		t.guide = newGuide(p, opt.Profile, an, machine)
+		res.ProfileMismatches = t.guide.mismatches
+	}
 	t.plan(res)
 	t.budget(res)
+	t.genPreloads()
 	t.out.Body = t.rebuild(p.Body)
 	if t.err != nil {
 		return nil, t.err
@@ -173,46 +223,65 @@ func cloneProgram(p *ir.Program) *ir.Program {
 // prefetch for the same address stream at the same loop (e.g. the read
 // and write halves of count[key[i]]++) are deduplicated.
 func (t *transform) plan(res *Result) {
-	emitted := map[string]bool{}
+	type jobSlot struct {
+		l *ir.Loop
+		i int
+	}
+	emitted := map[string]jobSlot{}
 	for _, g := range t.an.Groups {
 		lead := g.Leader
 		entry := PlanEntry{Array: g.Arr.Name, Kind: lead.Kind}
-		L := t.an.PipelineLoop(lead)
-		if L == nil {
-			res.Plan = append(res.Plan, entry)
-			continue
+		var (
+			j  job
+			at *ir.Loop
+			ok bool
+		)
+		if L := t.an.PipelineLoop(lead); L != nil {
+			j, at, ok = t.schedule(g, L)
 		}
-		entry.Covered = true
-		entry.Pipeline = L.Var
-
-		j, at, ok := t.schedule(g, L)
+		if !ok && t.guide != nil {
+			// Static analysis gave up (no pipeline loop, or no distance
+			// fits any trip count) — the profile may still show a
+			// prefetchable run-time stride.
+			j, at, ok = t.strideJob(g)
+		}
 		if !ok {
 			// §2.3 / §4.1.1: the lead distance does not fit the trip
 			// count of any analyzable enclosing loop — the software
 			// pipeline never gets started and the reference is missed.
 			// This is the compiler mistake that costs APPBT its coverage
 			// when inner bounds are only known at run time.
-			entry.Covered = false
-			entry.Pipeline = ""
 			res.Plan = append(res.Plan, entry)
 			continue
 		}
+		entry.Covered = true
 		entry.Pipeline = at.Var
+		if j.pipe != nil {
+			entry.Pipeline = j.pipe.Var
+		}
 		entry.StripLen = j.stripLen
 		entry.Pages = j.pages
 		entry.Dist = j.dist
 		entry.Release = j.release
+		entry.Profiled = j.profiled
 		res.Plan = append(res.Plan, entry)
 
-		sig := fmt.Sprintf("%p|%s|%v|%d", at, g.Arr.Name, g.Leader.Idx, j.stripLen)
-		if emitted[sig] {
-			continue // another group already prefetches this stream here
-		}
-		emitted[sig] = true
+		sig := fmt.Sprintf("%p|%p|%s|%v|%d|%d", at, j.pipe, g.Arr.Name, g.Leader.Idx, j.stripLen, j.selfStride)
 		if len(g.Leader.Path) > 0 {
 			j.top = g.Leader.Path[0]
 		}
+		if s, ok := emitted[sig]; ok {
+			// Another group already prefetches this stream here (e.g. the
+			// write half of count[key[i]]++). A profile-guided schedule
+			// supersedes a static duplicate: the group carrying the fault
+			// evidence is not always the one planned first.
+			if old := &t.jobs[s.l][s.i]; j.profiled && !old.profiled {
+				*old = j
+			}
+			continue
+		}
 		t.jobs[at] = append(t.jobs[at], j)
+		emitted[sig] = jobSlot{at, len(t.jobs[at]) - 1}
 	}
 }
 
@@ -289,9 +358,13 @@ func (t *transform) schedule(g *locality.Group, first *ir.Loop) (job, *ir.Loop, 
 		}
 		if lead.Kind == locality.Indirect {
 			// Indirect prefetch addresses must be generated where the
-			// index value is available: only the innermost driving loop
-			// can host them (Figure 2's a[b[i+dist]]).
-			if lead.IndirectSlots[l.Slot] && len(candidates) == 0 {
+			// index value is available: statically, only the innermost
+			// driving loop can host them (Figure 2's a[b[i+dist]]). With
+			// a profile, outer driving loops are candidates too — the
+			// hint stays planted where the index is computed, but the
+			// distance counts iterations of the outer loop, which is how
+			// a latency larger than the inner trip gets hidden.
+			if _, sp := t.guide.groupRec(g); lead.IndirectSlots[l.Slot] && (len(candidates) == 0 || sp != nil) {
 				candidates = append(candidates, l)
 			}
 		} else if lead.Coeffs[l.Slot] != 0 {
@@ -306,6 +379,17 @@ func (t *transform) schedule(g *locality.Group, first *ir.Loop) (job, *ir.Loop, 
 			j.stripLen = 1
 			j.pages = 1
 			j.dist = t.latencyIters(L, 1)
+			if d := t.guide.groupDist(g, L); d > 0 {
+				// Observed stall over observed fault-free work per
+				// iteration replaces the static model: the model's
+				// operation-count estimate can run orders of magnitude off
+				// in either direction, and an oversized lead cycles a small
+				// indirect target through memory before use. The headroom
+				// factor covers the disk contention the profiling run
+				// (which issues no prefetches) cannot see.
+				j.dist = d * contentionHeadroom
+				j.profiled = true
+			}
 			if j.dist >= trip {
 				if ci+1 < len(candidates) {
 					continue // pipeline across the next loop out
@@ -315,6 +399,18 @@ func (t *transform) schedule(g *locality.Group, first *ir.Loop) (job, *ir.Loop, 
 				} else {
 					return job{}, nil, false
 				}
+			}
+			if inner := lead.Innermost(); inner != L {
+				// Outer-loop pipeline: plant per-iteration hints at the
+				// innermost loop (all subscript variables live there) with
+				// the distance applied to L's variable.
+				j.pipe = L
+				j.profiled = true
+				t.sizeIndirect(g, &j)
+				return j, inner, true
+			}
+			if j.profiled {
+				t.sizeIndirect(g, &j)
 			}
 		} else {
 			strideB := lead.StrideBytes(L)
@@ -327,6 +423,15 @@ func (t *transform) schedule(g *locality.Group, first *ir.Loop) (job, *ir.Loop, 
 			}
 			j.pages = (j.stripLen*strideB + ps - 1) / ps
 			j.dist = t.latencyIters(L, j.stripLen)
+			if d := t.guide.groupDist(g, L); d > 0 {
+				// Observed latency over observed per-iteration work with
+				// contention headroom, rounded up to whole strips; the
+				// budget cap below applies to it the same as to the
+				// static distance.
+				d *= contentionHeadroom
+				j.dist = (d + j.stripLen - 1) / j.stripLen * j.stripLen
+				j.profiled = true
+			}
 			// Cap the lead distance by the memory budget.
 			if maxStrips := t.opt.MaxDistancePages / j.pages; maxStrips >= 1 {
 				if lim := maxStrips * j.stripLen; j.dist > lim {
@@ -339,6 +444,15 @@ func (t *transform) schedule(g *locality.Group, first *ir.Loop) (job, *ir.Loop, 
 				}
 				if trip > j.stripLen {
 					j.dist = (trip - 1) / j.stripLen * j.stripLen // partial hiding
+				} else if _, sp := t.guide.groupRec(g); sp != nil && sp.Faults > 0 && trip/2 >= 1 {
+					// The whole loop fits one strip, so static scheduling
+					// gives up — but the profile says the reference
+					// faults. Shrink the strip to half the trip count:
+					// smaller blocks, but the pipeline starts.
+					j.stripLen = trip / 2
+					j.pages = (j.stripLen*strideB + ps - 1) / ps
+					j.dist = j.stripLen
+					j.profiled = true
 				} else {
 					return job{}, nil, false
 				}
@@ -348,6 +462,55 @@ func (t *transform) schedule(g *locality.Group, first *ir.Loop) (job, *ir.Loop, 
 		return j, L, true
 	}
 	return job{}, nil, false
+}
+
+// sizeIndirect fills a profiled indirect job's footprint fields: the
+// in-flight cap, and — when the profile shows cold misses over a target
+// array comparable to the prefetch budget — a whole-array preload. A
+// fault count on the order of the array's page count means each page
+// missed about once; with randomized keys those misses land in the
+// nest's first iterations, before any steady-state lead can cover them.
+func (t *transform) sizeIndirect(g *locality.Group, j *job) {
+	ps := t.machine.PageSize
+	j.arrPages = (g.Arr.Bytes() + ps - 1) / ps
+	_, sp := t.guide.groupRec(g)
+	if sp == nil {
+		return
+	}
+	lim := t.machine.Frames() / 4
+	if j.arrPages <= 2*lim && sp.Faults <= 2*j.arrPages {
+		j.preloadPages = j.arrPages
+		if j.preloadPages > lim {
+			j.preloadPages = lim
+		}
+	}
+}
+
+// genPreloads turns the jobs' preload requests into block prefetches
+// planted before their top-level nests, one per (nest, array).
+func (t *transform) genPreloads() {
+	seen := map[string]bool{}
+	for _, jobs := range t.jobs {
+		for _, j := range jobs {
+			if j.preloadPages == 0 || j.top == nil {
+				continue
+			}
+			key := fmt.Sprintf("%p|%s", j.top, j.group.Arr.Name)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			idx := make([]ir.IExpr, len(j.group.Leader.Idx))
+			for i := range idx {
+				idx[i] = ir.Int(0)
+			}
+			t.preloads[j.top] = append(t.preloads[j.top], ir.Prefetch{
+				Arr:   j.group.Arr,
+				Idx:   idx,
+				Pages: ir.Int(j.preloadPages),
+			})
+		}
+	}
 }
 
 // latencyIters returns the prefetch lead distance, in pipeline-loop
@@ -385,10 +548,12 @@ func (t *transform) releasable(g *locality.Group, L *ir.Loop) bool {
 
 // transform carries the rebuild state.
 type transform struct {
-	an      *locality.Analysis
-	machine hw.Params
-	opt     Options
-	out     *ir.Program
-	jobs    map[*ir.Loop][]job
-	err     error
+	an       *locality.Analysis
+	machine  hw.Params
+	opt      Options
+	out      *ir.Program
+	jobs     map[*ir.Loop][]job
+	preloads map[*ir.Loop][]ir.Stmt // whole-array prologs, keyed by top loop
+	guide    *guide                 // non-nil under Options.Profile
+	err      error
 }

@@ -16,6 +16,7 @@ func (t *transform) rebuild(stmts []ir.Stmt) []ir.Stmt {
 	for _, s := range stmts {
 		switch x := s.(type) {
 		case *ir.Loop:
+			out = append(out, t.preloads[x]...)
 			body := t.rebuild(x.Body)
 			jobs := t.jobs[x]
 			if len(jobs) == 0 {
@@ -46,7 +47,7 @@ func (t *transform) pipeline(l *ir.Loop, body []ir.Stmt, jobs []job) ([]ir.Stmt,
 	// Prolog: block prefetches for the pipeline startup, before the loop.
 	var prolog []ir.Stmt
 	for _, j := range jobs {
-		if j.kind == locality.Indirect {
+		if j.kind == locality.Indirect || j.selfStride != 0 {
 			continue // no addresses to prefetch without running the loop
 		}
 		pages := j.dist / j.stripLen * j.pages
@@ -80,7 +81,13 @@ func (t *transform) pipeline(l *ir.Loop, body []ir.Stmt, jobs []job) ([]ir.Stmt,
 	// jobs planted first.
 	var perIter []ir.Stmt
 	for _, j := range jobs {
-		if j.stripLen == 1 {
+		switch {
+		case j.stripLen != 1:
+		case j.selfStride != 0:
+			perIter = append(perIter, t.selfHint(j)...)
+		case j.pipe != nil && j.pipe != l:
+			perIter = append(perIter, t.outerHint(j, l)...)
+		default:
 			perIter = append(perIter, t.steadyState(j, l, ir.ISlot{Slot: l.Slot, Name: l.Var}, l.Step)...)
 		}
 	}
@@ -181,18 +188,57 @@ func (t *transform) steadyState(j job, l *ir.Loop, at ir.ISlot, step int64) []ir
 	}}
 }
 
+// selfHint emits the per-iteration hint for a self-relative stride job:
+// the reference's own subscripts with the last dimension advanced by the
+// observed stride times the distance. The hint path clamps addresses and
+// never bounds-checks, so running past the array is safe, and a hint is
+// non-binding, so a wrongly predicted stride costs only a wasted fetch.
+func (t *transform) selfHint(j job) []ir.Stmt {
+	lead := j.group.Leader
+	idx := make([]ir.IExpr, len(lead.Idx))
+	copy(idx, lead.Idx)
+	last := len(idx) - 1
+	idx[last] = ir.AddI(idx[last], ir.Int(j.selfStride))
+	return []ir.Stmt{ir.Prefetch{Arr: lead.Arr, Idx: idx, Pages: ir.Int(j.pages)}}
+}
+
+// outerHint emits the per-iteration hint for an indirect job pipelined
+// along an outer driving loop (profile-guided): the subscripts are
+// re-evaluated with the outer variable advanced dist iterations (clamped
+// to its last value), while the loops between the outer loop and the
+// plant point stay live — e.g. x[col[(i+dist)*nz+k]] hinted from the
+// (i, k) body when the latency does not fit k's trip count.
+func (t *transform) outerHint(j job, plant *ir.Loop) []ir.Stmt {
+	lead := j.group.Leader
+	pipe := j.pipe
+	target := ir.AddI(ir.ISlot{Slot: pipe.Slot, Name: pipe.Var}, ir.Int(j.dist*pipe.Step))
+	return []ir.Stmt{ir.Prefetch{
+		Arr:   lead.Arr,
+		Idx:   t.hintIdxAt(lead, pipe, plant, target),
+		Pages: ir.Int(j.pages),
+	}}
+}
+
 // hintIdx builds the subscript list for a hint derived from ref, with the
 // pipeline loop's variable replaced by target (clamped to the loop's last
 // valid value so indirect loads in the subscript stay in bounds) and the
 // variables of loops nested inside the pipeline loop replaced by their
 // lower bounds (their value at the start of the target iteration).
 func (t *transform) hintIdx(ref *locality.Ref, l *ir.Loop, target ir.IExpr) []ir.IExpr {
-	last := ir.SubI(l.Hi, ir.Int(l.Step)) // last value the variable takes
+	return t.hintIdxAt(ref, l, l, target)
+}
+
+// hintIdxAt is hintIdx with distinct pipeline and plant loops: loop
+// variables between the two remain live at the plant point and are kept;
+// only loops nested inside the plant loop fall back to their lower
+// bounds.
+func (t *transform) hintIdxAt(ref *locality.Ref, pipe, plant *ir.Loop, target ir.IExpr) []ir.IExpr {
+	last := ir.SubI(pipe.Hi, ir.Int(pipe.Step)) // last value the variable takes
 	clamped := ir.MinI(target, last)
-	repl := map[int]ir.IExpr{l.Slot: clamped}
+	repl := map[int]ir.IExpr{pipe.Slot: clamped}
 	inner := false
 	for _, pl := range ref.Path {
-		if pl == l {
+		if pl == plant {
 			inner = true
 			continue
 		}

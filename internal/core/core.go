@@ -19,6 +19,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/rt"
 	"repro/internal/sim"
 	"repro/internal/stripefs"
@@ -111,6 +112,29 @@ type Config struct {
 	// and the fault/degradation counters change. The profile must
 	// Validate; use fault.ProfileByName or fault.ParseSpec.
 	Faults *fault.Profile
+
+	// Profile, if non-nil, selects one pass of the two-pass
+	// profile-guided prefetch mode (record or use).
+	Profile *ProfileSpec
+}
+
+// ProfileSpec configures the two-pass profile-guided mode for one run.
+// Exactly one of Record and Use may be set.
+type ProfileSpec struct {
+	// Record runs pass 1: the ORIGINAL program executes (Prefetch is
+	// ignored) with observation-only instrumentation, and the recorded
+	// profile is returned in Result.Profile. Recording charges no
+	// simulated operations, so results, times, and statistics are
+	// identical to a plain original run.
+	Record bool
+
+	// Use runs pass 2: the profile is fed to the prefetching compiler
+	// (compiler.Options.Profile), which replaces its static distance
+	// formula with observed latencies and hints references static
+	// analysis skips. Requires Prefetch. Sites that do not match the
+	// profile keep their static plan; the mismatch count lands in
+	// Result.ProfileMismatches and the "profile.mismatch" metric.
+	Use *profile.Profile
 }
 
 // DefaultConfig returns the standard prefetching configuration.
@@ -168,6 +192,14 @@ type Result struct {
 	// FastPath reports, per loop, which compiled driver ran it and why
 	// the compiler fell back when it did (empty under NoFastPath).
 	FastPath []exec.LoopReport
+
+	// Profile is the recording from a ProfileSpec.Record run; nil
+	// otherwise.
+	Profile *profile.Profile
+
+	// ProfileMismatches counts profile/program site mismatches from a
+	// ProfileSpec.Use compile (also published as "profile.mismatch").
+	ProfileMismatches int64
 }
 
 // Speedup returns how much faster this run is than base:
@@ -212,12 +244,27 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		return nil, err
 	}
 
+	recording := false
+	if cfg.Profile != nil {
+		if cfg.Profile.Record && cfg.Profile.Use != nil {
+			return nil, fmt.Errorf("core: ProfileSpec sets both Record and Use")
+		}
+		if cfg.Profile.Use != nil && !cfg.Prefetch {
+			return nil, fmt.Errorf("core: ProfileSpec.Use requires Prefetch")
+		}
+		recording = cfg.Profile.Record
+	}
+
 	execProg := prog
 	var plan []compiler.PlanEntry
-	if cfg.Prefetch {
+	var mismatches int64
+	if cfg.Prefetch && !recording {
 		opts := compiler.DefaultOptions()
 		if cfg.Options != nil {
 			opts = *cfg.Options
+		}
+		if cfg.Profile != nil && cfg.Profile.Use != nil {
+			opts.Profile = cfg.Profile.Use
 		}
 		res, err := compiler.Compile(prog, machine, opts)
 		if err != nil {
@@ -225,6 +272,7 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		}
 		execProg = res.Prog
 		plan = res.Plan
+		mismatches = res.ProfileMismatches
 	}
 
 	clock := sim.NewClock()
@@ -288,7 +336,11 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		v.SetFaults(inj)
 	}
 	layer := rt.RegisterObserved(v, cfg.RuntimeFilter || !cfg.Prefetch, reg)
-	m, err := exec.NewWith(execProg, v, layer, exec.Options{NoFastPath: cfg.NoFastPath})
+	var rec *profile.Recorder
+	if recording {
+		rec = profile.NewRecorder(execProg, machine.PageSize)
+	}
+	m, err := exec.NewWith(execProg, v, layer, exec.Options{NoFastPath: cfg.NoFastPath, Profile: rec})
 	if err != nil {
 		return nil, err
 	}
@@ -330,6 +382,14 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		Faults:  inj.Counts(),
 
 		FastPath: m.Reports(),
+
+		ProfileMismatches: mismatches,
+	}
+	if rec != nil {
+		r.Profile = rec.Profile()
+	}
+	if cfg.Profile != nil && cfg.Profile.Use != nil {
+		reg.Counter("profile.mismatch").Store(mismatches)
 	}
 	if smp != nil {
 		r.Timeline = smp.stop()

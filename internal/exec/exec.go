@@ -12,6 +12,7 @@ import (
 	"math/bits"
 
 	"repro/internal/ir"
+	"repro/internal/profile"
 	"repro/internal/rt"
 	"repro/internal/vm"
 )
@@ -69,6 +70,16 @@ type Options struct {
 	// times, and statistics are identical either way — so this exists for
 	// differential testing and debugging, not as a semantic switch.
 	NoFastPath bool
+
+	// Profile, if non-nil, runs the program with observation-only
+	// profiling instrumentation (pass 1 of the two-pass profile-guided
+	// mode). The recorder must have been built from the same *ir.Program.
+	// Instrumentation wraps every array access through the closure-tree
+	// oracle — the bytecode and page-run drivers are bypassed, which by
+	// the differential contract changes nothing simulated — and charges
+	// no operations, so results, times, and statistics are identical to
+	// an unprofiled run.
+	Profile *profile.Recorder
 }
 
 // New compiles prog for execution on v, with compiler-inserted hints
@@ -101,6 +112,17 @@ func NewWith(prog *ir.Program, v *vm.VM, layer *rt.Layer, opts Options) (*Machin
 	c := &compiler{
 		noFast:    opts.NoFastPath,
 		pageWords: v.Params().PageSize / ir.ElemSize,
+	}
+	if opts.Profile != nil {
+		// Profiling pass: per-element closure tree with observation
+		// wrappers around every array access.
+		c.noFast = true
+		c.prof = newProfRec(opts.Profile)
+		body := c.stmts(prog.Body)
+		if c.err != nil {
+			return nil, c.err
+		}
+		return &Machine{prog: prog, vm: v, rt: layer, body: body, nSites: c.nSites}, nil
 	}
 	if opts.NoFastPath {
 		// Differential oracle: the pure closure tree, byte-for-byte the
@@ -172,8 +194,9 @@ func (m *Machine) SpecializedSites() int { return m.nSites }
 type compiler struct {
 	err       error
 	noFast    bool
-	pageWords int64 // words per page, for page-run chunk sizing
-	nSites    int   // specialized access sites assigned so far
+	pageWords int64    // words per page, for page-run chunk sizing
+	nSites    int      // specialized access sites assigned so far
+	prof      *profRec // non-nil in the profiling pass (profile.go)
 }
 
 func (c *compiler) fail(format string, args ...interface{}) {
@@ -240,6 +263,11 @@ func (c *compiler) stmt(s ir.Stmt) stmtFn {
 		addr, acost := c.addr(x.Arr, x.Idx)
 		rhs, rcost := c.fexpr(x.RHS)
 		cost := acost + rcost + costStore
+		if c.prof != nil {
+			if fn, ok := c.prof.storeF(x.Arr, x.Idx, addr, rhs, cost); ok {
+				return fn
+			}
+		}
 		return func(e *Env) {
 			e.vm.AddUserOps(cost)
 			v := rhs(e)
@@ -249,6 +277,11 @@ func (c *compiler) stmt(s ir.Stmt) stmtFn {
 		addr, acost := c.addr(x.Arr, x.Idx)
 		rhs, rcost := c.iexpr(x.RHS)
 		cost := acost + rcost + costStore
+		if c.prof != nil {
+			if fn, ok := c.prof.storeI(x.Arr, x.Idx, addr, rhs, cost); ok {
+				return fn
+			}
+		}
 		return func(e *Env) {
 			e.vm.AddUserOps(cost)
 			v := rhs(e)
@@ -492,6 +525,11 @@ func (c *compiler) iexpr(x ir.IExpr) (iFn, int64) {
 		c.fail("unknown int op %d", e.Op)
 	case ir.ILoad:
 		addr, acost := c.addr(e.Arr, e.Idx)
+		if c.prof != nil {
+			if fn, ok := c.prof.loadI(e.Arr, e.Idx, addr); ok {
+				return fn, acost + costLoad
+			}
+		}
 		return func(e *Env) int64 { return e.vm.LoadI64(addr(e)) }, acost + costLoad
 	case ir.IFromF:
 		f, fc := c.fexpr(e.X)
@@ -511,6 +549,11 @@ func (c *compiler) fexpr(x ir.FExpr) (fFn, int64) {
 		return func(e *Env) float64 { return e.Floats[s] }, costArith
 	case ir.FLoad:
 		addr, acost := c.addr(e.Arr, e.Idx)
+		if c.prof != nil {
+			if fn, ok := c.prof.loadF(e.Arr, e.Idx, addr); ok {
+				return fn, acost + costLoad
+			}
+		}
 		return func(e *Env) float64 { return e.vm.LoadF64(addr(e)) }, acost + costLoad
 	case ir.FBin:
 		a, ac := c.fexpr(e.A)

@@ -14,6 +14,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -155,8 +156,11 @@ func fnvWord(h, w uint64) uint64 {
 
 // Fingerprint hashes a run's complete observable output with FNV-1a:
 // every 8-byte word of the allocated address space, wherever it
-// currently lives (frame memory or the backing file), then the scalar
-// environment in declaration order.
+// currently lives (frame memory or the backing file), then the declared
+// scalar environment (parameters and named scalars) in slot order.
+// Loop variables are excluded: the prefetch transform strip-mines loops
+// with plan-dependent temporaries, and neither their count nor their
+// exit values are part of the program's observable result.
 func Fingerprint(res *core.Result) uint64 {
 	v := res.VM
 	ps := v.Params().PageSize
@@ -164,11 +168,25 @@ func Fingerprint(res *core.Result) uint64 {
 	for addr, end := int64(0), v.AllocatedPages()*ps; addr < end; addr += 8 {
 		h = fnvWord(h, v.Peek(addr))
 	}
-	for _, x := range res.Env.Ints {
-		h = fnvWord(h, uint64(x))
+	p := res.Prog
+	slots := make([]int, 0, len(p.Params)+len(p.ScalarsI))
+	for _, prm := range p.Params {
+		slots = append(slots, prm.Slot)
 	}
-	for _, f := range res.Env.Floats {
-		h = fnvWord(h, math.Float64bits(f))
+	for _, s := range p.ScalarsI {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	for _, s := range slots {
+		h = fnvWord(h, uint64(res.Env.Ints[s]))
+	}
+	fslots := make([]int, 0, len(p.ScalarsF))
+	for _, s := range p.ScalarsF {
+		fslots = append(fslots, s)
+	}
+	sort.Ints(fslots)
+	for _, s := range fslots {
+		h = fnvWord(h, math.Float64bits(res.Env.Floats[s]))
 	}
 	return h
 }

@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/nas"
+	"repro/internal/profile"
+)
+
+// profileScale sizes the two-pass matrix: small enough to keep the
+// 6-app × 4-mode × 3-tier sweep fast, large enough that every proxy
+// actually pages (the machines are sized relative to the data).
+const profileScale = 0.1
+
+// profileRuns is one app's complete two-pass evidence: the plain
+// original run, the recording pass, and the static vs profile-guided
+// prefetching runs, with their fingerprints.
+type profileRuns struct {
+	orig, record, static, use     *core.Result
+	origSum, recordSum, staticSum uint64
+	useSum                        uint64
+	prof                          *profile.Profile
+}
+
+// profCache amortizes the four runs per app across the property test
+// and the coverage differential below (tests in this package run
+// sequentially).
+var profCache = map[string]*profileRuns{}
+
+func profileRunsFor(t *testing.T, app *nas.App) *profileRuns {
+	t.Helper()
+	if r, ok := profCache[app.Name]; ok {
+		return r
+	}
+	k, err := App(app, profileScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ko := k
+	ko.Cfg.Prefetch = false
+	orig, origSum, err := Run(ko, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kr := k
+	kr.Cfg.Profile = &core.ProfileSpec{Record: true}
+	record, recordSum, err := Run(kr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if record.Profile == nil {
+		t.Fatalf("%s: record run returned no profile", app.Name)
+	}
+
+	static, staticSum, err := Run(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ku := k
+	ku.Cfg.Profile = &core.ProfileSpec{Use: record.Profile}
+	use, useSum, err := Run(ku, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := &profileRuns{
+		orig: orig, record: record, static: static, use: use,
+		origSum: origSum, recordSum: recordSum, staticSum: staticSum,
+		useSum: useSum, prof: record.Profile,
+	}
+	profCache[app.Name] = r
+	return r
+}
+
+// TestProfileModesByteIdentical is the two-pass property matrix: for
+// every NAS proxy, the recording pass is tick- and byte-identical to a
+// plain original run (observation costs nothing), and the static and
+// profile-guided prefetching runs fingerprint identically to the
+// original on every storage tier. The profile must also demonstrably
+// steer the compiler on the indirect kernels, and the profile-guided
+// program must survive the fast-path differential oracle — a profile
+// that changes nothing, or that only works on one execution engine,
+// proves nothing.
+func TestProfileModesByteIdentical(t *testing.T) {
+	apps := matrixApps()
+	if testing.Short() {
+		apps = apps[:2]
+	}
+	for _, app := range apps {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			r := profileRunsFor(t, app)
+
+			// Pass 1 is a pure observation of the original program.
+			if r.recordSum != r.origSum {
+				t.Fatalf("record run diverged from original: %#x vs %#x", r.recordSum, r.origSum)
+			}
+			if r.record.Elapsed != r.orig.Elapsed {
+				t.Fatalf("record run not tick-identical to original: %v vs %v",
+					r.record.Elapsed, r.orig.Elapsed)
+			}
+
+			// Pass 2 (and plain static prefetching) only move hints around.
+			if r.staticSum != r.origSum {
+				t.Fatalf("static prefetch diverged: %#x vs %#x", r.staticSum, r.origSum)
+			}
+			if r.useSum != r.origSum {
+				t.Fatalf("profile-guided run diverged: %#x vs %#x", r.useSum, r.origSum)
+			}
+			// A same-program, same-geometry profile must match every site.
+			if r.use.ProfileMismatches != 0 {
+				t.Fatalf("self-recorded profile reported %d site mismatches", r.use.ProfileMismatches)
+			}
+
+			// The indirect kernels are where the profile has information
+			// static analysis lacks; if it never changes a decision there,
+			// the whole matrix is vacuous.
+			if app.Name == "BUK" || app.Name == "CGM" {
+				n := 0
+				for _, e := range r.use.Plan {
+					if e.Profiled {
+						n++
+					}
+				}
+				if n == 0 {
+					t.Fatalf("profile changed no hint decisions on %s — vacuous pass", app.Name)
+				}
+			}
+
+			// The profile-guided program must be engine-independent:
+			// the bytecode fast path and the closure-tree oracle agree
+			// tick for tick.
+			k, err := App(app, profileScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kd := k
+			kd.Cfg.Profile = &core.ProfileSpec{Use: r.prof}
+			kd.Cfg.NoFastPath = true
+			slow, slowSum, err := Run(kd, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slowSum != r.useSum || slow.Elapsed != r.use.Elapsed {
+				t.Fatalf("profile-guided run differs under NoFastPath: sum %#x vs %#x, elapsed %v vs %v",
+					slowSum, r.useSum, slow.Elapsed, r.use.Elapsed)
+			}
+
+			// Same property with the storage tier swapped underneath,
+			// static and profile-guided both (disk is the default above).
+			if testing.Short() {
+				return
+			}
+			ku := k
+			ku.Cfg.Profile = &core.ProfileSpec{Use: r.prof}
+			for _, tier := range []hw.Tier{hw.TierNVMe, hw.TierFarMemory} {
+				spec := core.BackendSpec{Tier: tier}
+				if _, err := CheckBackendAgainst(k, spec, nil, r.orig, r.origSum); err != nil {
+					t.Fatalf("static on %v: %v", tier, err)
+				}
+				if _, err := CheckBackendAgainst(ku, spec, nil, r.orig, r.origSum); err != nil {
+					t.Fatalf("profile-guided on %v: %v", tier, err)
+				}
+			}
+		})
+	}
+}
+
+// TestProfileCoverageDifferential is the payoff side of the two-pass
+// contract: on the indirect kernels (BUK's counting gather, CGM's
+// sparse x[col[...]]) the profile-guided plan must cover strictly more
+// faults than static analysis manages, and on the dense proxies — where
+// static analysis already sees everything — the profile must never cost
+// more than a 10% elapsed regression (in practice it binds to the same
+// caps and is byte-identical in time too).
+func TestProfileCoverageDifferential(t *testing.T) {
+	apps := matrixApps()
+	if testing.Short() {
+		apps = apps[:2]
+	}
+	for _, app := range apps {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			r := profileRunsFor(t, app)
+			if app.Name == "BUK" || app.Name == "CGM" {
+				if r.use.Mem.PrefetchedHits <= r.static.Mem.PrefetchedHits {
+					t.Fatalf("profile-guided hits %d not above static %d",
+						r.use.Mem.PrefetchedHits, r.static.Mem.PrefetchedHits)
+				}
+			}
+			if limit := r.static.Elapsed + r.static.Elapsed/10; r.use.Elapsed > limit {
+				t.Fatalf("profile-guided elapsed %v exceeds static %v by more than 10%%",
+					r.use.Elapsed, r.static.Elapsed)
+			}
+		})
+	}
+}

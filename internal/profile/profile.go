@@ -1,0 +1,219 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Version is the profile artifact format version. Readers reject any
+// other version with a *VersionError: profiles are compiler input, and a
+// silently misread artifact would turn into silently wrong plans.
+const Version = 1
+
+// StridePair is one observed inter-access stride (in elements) and how
+// often it occurred.
+type StridePair struct {
+	Stride int64 `json:"stride"`
+	Count  int64 `json:"count"`
+}
+
+// SiteProfile is the recorded behavior of one reference site.
+type SiteProfile struct {
+	Key string `json:"key"`
+
+	// Count is how many times the site executed; Faults / MinorFaults /
+	// Hits split the accesses that touched non-resident or freshly
+	// arrived pages into the VM's fault classes (major faults, minor
+	// faults, prefetched hits).
+	Count       int64 `json:"count"`
+	Faults      int64 `json:"faults"`
+	MinorFaults int64 `json:"minor_faults"`
+	Hits        int64 `json:"hits"`
+
+	// StallTicks sums the simulated time the site spent stalled in major
+	// faults; StallTicks/Faults is the observed miss latency the compiler
+	// uses in place of the static hw.AvgPageRead formula.
+	StallTicks int64 `json:"stall_ticks"`
+
+	// InterTicks/InterN average the fault-free simulated time between
+	// consecutive executions of the site: the per-iteration work a
+	// prefetch distance has to divide the latency by.
+	InterTicks int64 `json:"inter_ticks"`
+	InterN     int64 `json:"inter_n"`
+
+	// Strides is the inter-access stride histogram (top buckets by
+	// count, deterministic order); StrideOther counts deltas that fell
+	// outside the tracked buckets.
+	Strides     []StridePair `json:"strides,omitempty"`
+	StrideOther int64        `json:"stride_other,omitempty"`
+}
+
+// AvgStallTicks returns the observed mean major-fault latency, or 0 when
+// the site never faulted.
+func (s *SiteProfile) AvgStallTicks() int64 {
+	if s.Faults <= 0 {
+		return 0
+	}
+	return s.StallTicks / s.Faults
+}
+
+// AvgInterTicks returns the observed mean time between consecutive
+// executions, or 0 when the site ran at most once.
+func (s *SiteProfile) AvgInterTicks() int64 {
+	if s.InterN <= 0 {
+		return 0
+	}
+	return s.InterTicks / s.InterN
+}
+
+// DominantStride returns the most frequent observed stride and the
+// fraction of all recorded deltas it accounts for.
+func (s *SiteProfile) DominantStride() (stride int64, frac float64) {
+	var total, best int64
+	for _, p := range s.Strides {
+		total += p.Count
+		if p.Count > best {
+			best, stride = p.Count, p.Stride
+		}
+	}
+	total += s.StrideOther
+	if total == 0 || best == 0 {
+		return 0, 0
+	}
+	return stride, float64(best) / float64(total)
+}
+
+// Profile is one kernel's recorded execution profile.
+type Profile struct {
+	Kernel   string        `json:"kernel"`
+	PageSize int64         `json:"page_size"`
+	Sites    []SiteProfile `json:"sites"`
+}
+
+// Site returns the record for a site key, or nil.
+func (p *Profile) Site(key string) *SiteProfile {
+	for i := range p.Sites {
+		if p.Sites[i].Key == key {
+			return &p.Sites[i]
+		}
+	}
+	return nil
+}
+
+// Set is the serialized artifact: profiles for any number of kernels,
+// keyed by kernel (program) name.
+type Set struct {
+	Kernels map[string]*Profile
+}
+
+// NewSet returns an empty profile set.
+func NewSet() *Set { return &Set{Kernels: map[string]*Profile{}} }
+
+// Add inserts (or replaces) a kernel's profile.
+func (s *Set) Add(p *Profile) {
+	if s.Kernels == nil {
+		s.Kernels = map[string]*Profile{}
+	}
+	s.Kernels[p.Kernel] = p
+}
+
+// For returns the profile recorded for a kernel name, or nil.
+func (s *Set) For(kernel string) *Profile {
+	if s == nil {
+		return nil
+	}
+	return s.Kernels[kernel]
+}
+
+// VersionError reports an artifact written in an unsupported format
+// version.
+type VersionError struct{ Got int }
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("profile: artifact version %d, this reader supports version %d", e.Got, Version)
+}
+
+// CorruptError reports an artifact that does not parse or fails
+// validation.
+type CorruptError struct {
+	Reason string
+	Err    error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("profile: corrupt artifact: %s: %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("profile: corrupt artifact: %s", e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// envelope is the on-disk shape.
+type envelope struct {
+	Version int                 `json:"version"`
+	Kernels map[string]*Profile `json:"kernels"`
+}
+
+// Marshal serializes a set as a versioned artifact.
+func Marshal(s *Set) ([]byte, error) {
+	return json.MarshalIndent(envelope{Version: Version, Kernels: s.Kernels}, "", "  ")
+}
+
+// Unmarshal parses a versioned artifact. Unsupported versions fail with
+// *VersionError; malformed or inconsistent data fails with
+// *CorruptError.
+func Unmarshal(data []byte) (*Set, error) {
+	var head struct {
+		Version *int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return nil, &CorruptError{Reason: "not a profile artifact", Err: err}
+	}
+	if head.Version == nil {
+		return nil, &CorruptError{Reason: "missing version field"}
+	}
+	if *head.Version != Version {
+		return nil, &VersionError{Got: *head.Version}
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, &CorruptError{Reason: "malformed body", Err: err}
+	}
+	s := &Set{Kernels: env.Kernels}
+	if s.Kernels == nil {
+		s.Kernels = map[string]*Profile{}
+	}
+	for name, p := range s.Kernels {
+		if p == nil {
+			return nil, &CorruptError{Reason: fmt.Sprintf("kernel %q: null profile", name)}
+		}
+		if p.Kernel != name {
+			return nil, &CorruptError{Reason: fmt.Sprintf("kernel %q: profile names itself %q", name, p.Kernel)}
+		}
+		if p.PageSize <= 0 {
+			return nil, &CorruptError{Reason: fmt.Sprintf("kernel %q: page size %d", name, p.PageSize)}
+		}
+		seen := map[string]bool{}
+		for i := range p.Sites {
+			sp := &p.Sites[i]
+			if sp.Key == "" {
+				return nil, &CorruptError{Reason: fmt.Sprintf("kernel %q: site %d has no key", name, i)}
+			}
+			if seen[sp.Key] {
+				return nil, &CorruptError{Reason: fmt.Sprintf("kernel %q: duplicate site key %q", name, sp.Key)}
+			}
+			seen[sp.Key] = true
+			if sp.Count < 0 || sp.Faults < 0 || sp.MinorFaults < 0 || sp.Hits < 0 ||
+				sp.StallTicks < 0 || sp.InterTicks < 0 || sp.InterN < 0 || sp.StrideOther < 0 {
+				return nil, &CorruptError{Reason: fmt.Sprintf("kernel %q: site %q has negative counts", name, sp.Key)}
+			}
+			for _, pr := range sp.Strides {
+				if pr.Count <= 0 {
+					return nil, &CorruptError{Reason: fmt.Sprintf("kernel %q: site %q has a non-positive stride count", name, sp.Key)}
+				}
+			}
+		}
+	}
+	return s, nil
+}

@@ -280,6 +280,17 @@ func (v *VM) Times() TimeStats {
 	return t
 }
 
+// ProfileSnapshot returns the observation tuple the profiling pass
+// wraps around each instrumented access: the simulated time as the
+// program sees it (the clock plus user operations accumulated since the
+// last kernel crossing) and the running major-fault, minor-fault, and
+// prefetched-hit classification tallies. It reads plain fields and is
+// safe on the instrumented hot path.
+func (v *VM) ProfileSnapshot() (now, majorFaults, minorFaults, hits int64) {
+	now = int64(v.clock.Now()) + v.pendingUserOps*int64(v.p.OpTime)
+	return now, v.n.prefetchedFaults + v.n.nonPrefetchedFault, v.n.minorFaults, v.n.prefetchedHits
+}
+
 // FreeFrames returns the current number of frames on the pool's free
 // list.
 func (v *VM) FreeFrames() int64 { return v.pool.freeCount }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/nas"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/stripefs"
 )
 
@@ -375,6 +376,39 @@ func AblateAllContext(ctx context.Context, w io.Writer, scale float64, r Runner)
 func ExplainFastPath(w io.Writer, scale float64) error {
 	return bench.ExplainFastPath(w, scale)
 }
+
+// ExecutionProfile is one kernel's recorded execution profile: per-
+// reference-site fault, stall, inter-access, and stride histograms from
+// a pass-1 recording run (not to be confused with FaultProfile, the
+// fault-injection workload).
+type ExecutionProfile = profile.Profile
+
+// ProfileSet is a versioned artifact of execution profiles keyed by
+// kernel name — what RecordProfiles returns and SuiteOptions.ProfileUse
+// consumes.
+type ProfileSet = profile.Set
+
+// ProfileSpec selects one pass of the two-pass profile-guided prefetch
+// mode for a single run (Config.Profile): Record observes, Use guides.
+type ProfileSpec = core.ProfileSpec
+
+// RecordProfiles runs pass 1 of the two-pass mode over the whole NAS
+// suite: each app executes once in its original configuration with
+// observation-only instrumentation (tick-identical to a plain run) and
+// the recordings come back as one ProfileSet. Feed it back through
+// SuiteOptions.ProfileUse for the profile-guided pass 2.
+func RecordProfiles(ctx context.Context, opts SuiteOptions) (*ProfileSet, error) {
+	return bench.RecordProfiles(ctx, opts)
+}
+
+// MarshalProfiles serializes a ProfileSet into its versioned artifact
+// form (deterministic JSON, byte-stable across round trips).
+func MarshalProfiles(s *ProfileSet) ([]byte, error) { return profile.Marshal(s) }
+
+// UnmarshalProfiles parses and validates a ProfileSet artifact. Version
+// skew returns a *profile.VersionError; anything structurally wrong
+// returns a *profile.CorruptError.
+func UnmarshalProfiles(data []byte) (*ProfileSet, error) { return profile.Unmarshal(data) }
 
 // TenantOptions configures the multi-tenant service benchmark: N tenant
 // kernels sharing one frame pool and disk array under residency quotas,
