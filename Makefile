@@ -16,7 +16,7 @@ BENCH_PKGS = ./internal/obs ./internal/vm ./internal/disk ./internal/bench ./int
 # allocator and scheduler noise enough for a 15% gate.
 BENCH_FLAGS = -bench=. -benchmem -benchtime 200ms -count 3 -run '^$$'
 
-.PHONY: ci fmt-check vet staticcheck build test race fuzz test-faults test-fastpath test-backends test-tenants test-profile bench bench-check bench-baseline
+.PHONY: ci fmt-check vet staticcheck build test race fuzz test-faults test-fastpath test-hotpath test-backends test-tenants test-profile bench bench-check bench-baseline
 
 # ci is the gate: formatting, static checks, build, tests, the
 # race-detector pass over the concurrent experiment runner, a
@@ -109,6 +109,18 @@ test-profile:
 test-fastpath:
 	$(GO) test ./internal/fault/harness/ -run TestFastPathEquivalence
 	$(GO) test ./internal/exec/ -run TestFastPath
+
+# test-hotpath runs the host-time hot-path gate (DESIGN.md §14): exact
+# hint lowering (differential tests on unsafe hint shapes, plus the
+# structural property that no NAS hint site emits a closure call), the
+# compile-once plan cache (hit/miss/cold tick-identical across NAS ×
+# tiers × fault profiles, invalidation by key), and the benchdiff
+# allocs/op gate that holds the zero-alloc write-back path.
+test-hotpath:
+	$(GO) test ./internal/exec/ -run 'TestHint|TestFastPath|TestNest'
+	$(GO) test ./internal/nas/ -run TestNASHintSitesEmitNoClosureCalls -count 1
+	$(GO) test ./internal/core/ -run TestPlanCache -count 1
+	$(GO) test ./cmd/benchdiff/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

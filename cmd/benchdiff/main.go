@@ -162,12 +162,17 @@ func stripProcSuffix(name string) string {
 	return name[:i]
 }
 
-// row is one benchmark's comparison line.
+// row is one benchmark's comparison line. Alloc figures are carried
+// only when both recordings ran with -benchmem (hasAllocs); allocChange
+// is meaningful only when the baseline allocates at all.
 type row struct {
-	name      string
-	base, cur float64
-	change    float64
-	status    string
+	name                  string
+	base, cur             float64
+	change                float64
+	baseAllocs, curAllocs float64
+	allocChange           float64
+	hasAllocs             bool
+	status                string
 }
 
 // comparison is the full outcome of diffing a current recording against
@@ -218,7 +223,23 @@ func compare(base, cur map[string]Result, thresholdPct float64) *comparison {
 			cmp.regressions = append(cmp.regressions,
 				fmt.Sprintf("%s: was zero-alloc, now %.0f allocs/op", name, c.AllocsOp))
 		}
-		cmp.rows = append(cmp.rows, row{name, b.NsOp, c.NsOp, change, status})
+		r := row{name: name, base: b.NsOp, cur: c.NsOp, change: change,
+			baseAllocs: b.AllocsOp, curAllocs: c.AllocsOp,
+			hasAllocs: b.AllocsOp >= 0 && c.AllocsOp >= 0, status: status}
+		// Allocating benchmarks get a proportional allocs/op gate at the
+		// same threshold: allocation counts are nearly noise-free, so a
+		// hot path that starts allocating more per op fails here even
+		// when machine noise hides the wall-time cost.
+		if b.AllocsOp > 0 && c.AllocsOp >= 0 {
+			r.allocChange = 100 * (c.AllocsOp - b.AllocsOp) / b.AllocsOp
+			if r.allocChange > thresholdPct {
+				r.status = "ALLOC-REGRESSION"
+				cmp.regressions = append(cmp.regressions,
+					fmt.Sprintf("%s: %.0f allocs/op -> %.0f allocs/op (%+.1f%% > %.0f%% threshold)",
+						name, b.AllocsOp, c.AllocsOp, r.allocChange, thresholdPct))
+			}
+		}
+		cmp.rows = append(cmp.rows, r)
 	}
 	return cmp
 }
@@ -243,9 +264,19 @@ func (c *comparison) exitCode() int {
 func (c *comparison) table() string {
 	var b strings.Builder
 	for _, r := range c.rows {
-		fmt.Fprintf(&b, "%-40s %12.1f %12.1f %+8.1f%%  %s\n", r.name, r.base, r.cur, r.change, r.status)
+		fmt.Fprintf(&b, "%-40s %12.1f %12.1f %+8.1f%%  %-16s %s\n",
+			r.name, r.base, r.cur, r.change, r.allocsCell(), r.status)
 	}
 	return b.String()
+}
+
+// allocsCell formats the allocs/op column ("1009 -> 1009" or "-" when
+// either recording ran without -benchmem).
+func (r row) allocsCell() string {
+	if !r.hasAllocs {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f -> %.0f", r.baseAllocs, r.curAllocs)
 }
 
 // markdown renders the comparison as a job-summary document: the full
@@ -253,10 +284,11 @@ func (c *comparison) table() string {
 func (c *comparison) markdown(thresholdPct float64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "## Benchmark gate (threshold %.0f%%)\n\n", thresholdPct)
-	b.WriteString("| benchmark | baseline ns/op | current ns/op | change | status |\n")
-	b.WriteString("|---|---:|---:|---:|---|\n")
+	b.WriteString("| benchmark | baseline ns/op | current ns/op | change | allocs/op | status |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---|\n")
 	for _, r := range c.rows {
-		fmt.Fprintf(&b, "| %s | %.1f | %.1f | %+.1f%% | %s |\n", r.name, r.base, r.cur, r.change, r.status)
+		fmt.Fprintf(&b, "| %s | %.1f | %.1f | %+.1f%% | %s | %s |\n",
+			r.name, r.base, r.cur, r.change, r.allocsCell(), r.status)
 	}
 	if worst := c.worstSummary(3); worst != "" {
 		fmt.Fprintf(&b, "\n**Worst regressors:** %s\n", worst)

@@ -80,12 +80,34 @@ func TestCompareZeroAllocIsHard(t *testing.T) {
 	}
 }
 
-func TestCompareAllocGrowthAllowedWhenNonzero(t *testing.T) {
+func TestCompareAllocGrowthGate(t *testing.T) {
+	// Allocating benchmarks get a proportional allocs/op gate at the
+	// ns/op threshold: +40% allocs fails at 15% even with flat wall time.
 	base := map[string]Result{"BenchmarkFoo": {NsOp: 100, AllocsOp: 5}}
 	cur := map[string]Result{"BenchmarkFoo": {NsOp: 100, AllocsOp: 7}}
 	cmp := compare(base, cur, 15)
-	if len(cmp.regressions) != 0 || cmp.exitCode() != 0 {
-		t.Fatalf("regressions = %v, want none (benchmark was never zero-alloc)", cmp.regressions)
+	if len(cmp.regressions) != 1 || !strings.Contains(cmp.regressions[0], "allocs/op") {
+		t.Fatalf("regressions = %v, want one allocs/op regression", cmp.regressions)
+	}
+	if got := cmp.exitCode(); got != 1 {
+		t.Fatalf("exitCode = %d, want 1", got)
+	}
+	if got := cmp.rows[0].status; got != "ALLOC-REGRESSION" {
+		t.Fatalf("row status = %q, want ALLOC-REGRESSION", got)
+	}
+
+	// Growth within the threshold passes, as does any shrink.
+	for _, c := range []float64{5, 5.5, 1} {
+		cur["BenchmarkFoo"] = Result{NsOp: 100, AllocsOp: c}
+		if cmp := compare(base, cur, 15); len(cmp.regressions) != 0 || cmp.exitCode() != 0 {
+			t.Fatalf("allocs 5 -> %v: regressions = %v, want none", c, cmp.regressions)
+		}
+	}
+
+	// A current recording without -benchmem makes no allocation claim.
+	cur["BenchmarkFoo"] = Result{NsOp: 100, AllocsOp: -1}
+	if cmp := compare(base, cur, 15); len(cmp.regressions) != 0 {
+		t.Fatalf("regressions = %v, want none without -benchmem figures", cmp.regressions)
 	}
 }
 
@@ -165,7 +187,8 @@ func TestMarkdownSummary(t *testing.T) {
 	md := compare(base, cur, 15).markdown(15)
 	for _, want := range []string{
 		"| benchmark |",
-		"| BenchmarkSlow | 100.0 | 200.0 | +100.0% | REGRESSION |",
+		"| allocs/op |",
+		"| BenchmarkSlow | 100.0 | 200.0 | +100.0% | 0 -> 0 | REGRESSION |",
 		"**Worst regressors:** BenchmarkSlow (+100.0%)",
 		"**Missing from current run:** `BenchmarkGone`",
 	} {

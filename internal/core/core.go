@@ -59,6 +59,14 @@ type Config struct {
 	// choice.
 	NoFastPath bool
 
+	// NoPlanCache disables the process-wide compile-once plan cache,
+	// forcing this run to analyze, plan, and assemble bytecode from
+	// scratch. Cached and cold compiles are equivalence-tested to be
+	// tick-identical, so this is an escape hatch for differential
+	// testing and for callers that mutate programs between runs in ways
+	// the structural fingerprint should catch but they want to prove.
+	NoPlanCache bool
+
 	// Seed pre-initializes input files; nil if the program needs none.
 	Seed func(prog *ir.Program, file *stripefs.File, pageSize int64)
 
@@ -200,6 +208,11 @@ type Result struct {
 	// ProfileMismatches counts profile/program site mismatches from a
 	// ProfileSpec.Use compile (also published as "profile.mismatch").
 	ProfileMismatches int64
+
+	// PlanCacheHit reports whether this run reused a previously compiled
+	// plan from the process-wide cache (always false with
+	// Config.NoPlanCache set or in profile-recording runs).
+	PlanCacheHit bool
 }
 
 // Speedup returns how much faster this run is than base:
@@ -258,15 +271,33 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 	execProg := prog
 	var plan []compiler.PlanEntry
 	var mismatches int64
-	if cfg.Prefetch && !recording {
-		opts := compiler.DefaultOptions()
-		if cfg.Options != nil {
-			opts = *cfg.Options
+	var art *exec.Artifact
+	planCacheHit := false
+	copts := compiler.DefaultOptions()
+	if cfg.Options != nil {
+		copts = *cfg.Options
+	}
+	if cfg.Profile != nil && cfg.Profile.Use != nil {
+		copts.Profile = cfg.Profile.Use
+	}
+	doPrefetch := cfg.Prefetch && !recording
+	if !recording && !cfg.NoPlanCache {
+		// Compile-once path: analysis, planning, and bytecode assembly
+		// are shared across runs with identical (machine, program,
+		// options) keys; only VM binding happens per run. Recording runs
+		// bypass the cache — their instrumented closures capture the
+		// recorder and must be rebuilt every time.
+		ent, hit := cachedPlan(prog, machine, doPrefetch, cfg.NoFastPath, copts)
+		if ent.err != nil {
+			return nil, fmt.Errorf("core: compile %s: %w", prog.Name, ent.err)
 		}
-		if cfg.Profile != nil && cfg.Profile.Use != nil {
-			opts.Profile = cfg.Profile.Use
-		}
-		res, err := compiler.Compile(prog, machine, opts)
+		execProg = ent.execProg
+		plan = ent.plan
+		mismatches = ent.mismatches
+		art = ent.art
+		planCacheHit = hit
+	} else if doPrefetch {
+		res, err := compiler.Compile(prog, machine, copts)
 		if err != nil {
 			return nil, fmt.Errorf("core: compile %s: %w", prog.Name, err)
 		}
@@ -340,7 +371,12 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 	if recording {
 		rec = profile.NewRecorder(execProg, machine.PageSize)
 	}
-	m, err := exec.NewWith(execProg, v, layer, exec.Options{NoFastPath: cfg.NoFastPath, Profile: rec})
+	var m *exec.Machine
+	if art != nil {
+		m, err = art.Bind(v, layer)
+	} else {
+		m, err = exec.NewWith(execProg, v, layer, exec.Options{NoFastPath: cfg.NoFastPath, Profile: rec})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -367,6 +403,9 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 	env := m.Run()
 	v.Finish()
 	elapsed := clock.Now() - start
+	// All I/O has drained: hand the run's request-object pools to the
+	// next run's file system.
+	fs.Recycle()
 
 	r := &Result{
 		Prog:    execProg,
@@ -384,6 +423,7 @@ func RunContext(ctx context.Context, prog *ir.Program, cfg Config) (res *Result,
 		FastPath: m.Reports(),
 
 		ProfileMismatches: mismatches,
+		PlanCacheHit:      planCacheHit,
 	}
 	if rec != nil {
 		r.Profile = rec.Profile()

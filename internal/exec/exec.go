@@ -30,6 +30,10 @@ type Env struct {
 	// chunk of iterations executes (see fastpath.go).
 	sites []runSite
 
+	// subs holds the page-run driver's incrementally-maintained
+	// per-dimension subscript values, indexed by each site's subBase.
+	subs []int64
+
 	// ri/rf are the kernel interpreter's register files (kernel.go);
 	// index 0 of each is a permanent zero.
 	ri []int64
@@ -51,6 +55,7 @@ type Machine struct {
 	rt     *rt.Layer
 	body   stmtFn
 	nSites int
+	nSubs  int
 
 	// kernel bytecode state (kcompile.go / kernel.go)
 	code      []kinstr
@@ -61,6 +66,42 @@ type Machine struct {
 	pageShift int64
 	reports   []LoopReport
 }
+
+// Artifact is a compiled program not yet bound to any VM. Everything in
+// it — the closure tree, the kernel bytecode, the call table — reads
+// run-time state exclusively through the *Env passed at execution, so
+// one Artifact can be Bound to any number of VMs (sequentially or
+// concurrently) as long as each VM has the same page size the program
+// was compiled against. This is what makes a compile-once plan cache
+// sound: compilation happens once, binding is a handful of address-space
+// allocations per run.
+type Artifact struct {
+	prog     *ir.Program
+	pageSize int64
+	body     stmtFn
+	nSites   int
+	nSubs    int
+
+	code      []kinstr
+	calls     []stmtFn
+	aux       []auxDim
+	haux      []hintAux
+	nRI, nRF  int
+	pageShift int64
+	reports   []LoopReport
+}
+
+// Reports returns the per-loop compilation reports in program order,
+// available before any VM binding.
+func (a *Artifact) Reports() []LoopReport { return a.reports }
+
+// CallSites returns how many closure-call slots the kernel bytecode
+// carries. On the kernel path the only opCall emitters are embedded
+// page-run span drivers — exactly one per page-run loop report — so
+// tests assert CallSites equals the page-run loop count to prove no
+// hint (or any other statement) fell back to a closure. Zero for
+// closure-tree artifacts, which have no bytecode at all.
+func (a *Artifact) CallSites() int { return len(a.calls) }
 
 // Options tunes compilation.
 type Options struct {
@@ -92,53 +133,57 @@ func New(prog *ir.Program, v *vm.VM, layer *rt.Layer) (*Machine, error) {
 
 // NewWith is New with explicit compilation options.
 func NewWith(prog *ir.Program, v *vm.VM, layer *rt.Layer, opts Options) (*Machine, error) {
+	a, err := Compile(prog, v.Params().PageSize, opts)
+	if err != nil {
+		return nil, err
+	}
+	return a.Bind(v, layer)
+}
+
+// Compile lowers prog to a VM-independent Artifact for the given page
+// size. The program is Resolved against pageSize if it has not been
+// already; the Artifact holds a reference to prog (not a copy), so the
+// program must not be structurally mutated while the Artifact is live.
+func Compile(prog *ir.Program, pageSize int64, opts Options) (*Artifact, error) {
 	if !prog.Resolved() {
-		if err := prog.Resolve(v.Params().PageSize); err != nil {
+		if err := prog.Resolve(pageSize); err != nil {
 			return nil, err
-		}
-	}
-	if v.AllocatedPages() != 0 {
-		return nil, fmt.Errorf("exec: VM address space already has allocations")
-	}
-	for _, a := range prog.Arrays {
-		base, err := v.Alloc(a.Name, a.Bytes())
-		if err != nil {
-			return nil, err
-		}
-		if base != a.Base {
-			return nil, fmt.Errorf("exec: array %s resolved at %#x but allocated at %#x", a.Name, a.Base, base)
 		}
 	}
 	c := &compiler{
 		noFast:    opts.NoFastPath,
-		pageWords: v.Params().PageSize / ir.ElemSize,
+		pageWords: pageSize / ir.ElemSize,
 	}
+	a := &Artifact{prog: prog, pageSize: pageSize}
 	if opts.Profile != nil {
 		// Profiling pass: per-element closure tree with observation
-		// wrappers around every array access.
+		// wrappers around every array access. The closures capture the
+		// recorder, so a profiling Artifact is one-shot — never cache it.
 		c.noFast = true
 		c.prof = newProfRec(opts.Profile)
-		body := c.stmts(prog.Body)
+		a.body = c.stmts(prog.Body)
 		if c.err != nil {
 			return nil, c.err
 		}
-		return &Machine{prog: prog, vm: v, rt: layer, body: body, nSites: c.nSites}, nil
+		a.nSites, a.nSubs = c.nSites, c.nSubs
+		return a, nil
 	}
 	if opts.NoFastPath {
 		// Differential oracle: the pure closure tree, byte-for-byte the
 		// reference semantics.
-		body := c.stmts(prog.Body)
+		a.body = c.stmts(prog.Body)
 		if c.err != nil {
 			return nil, c.err
 		}
-		return &Machine{prog: prog, vm: v, rt: layer, body: body, nSites: c.nSites}, nil
+		a.nSites, a.nSubs = c.nSites, c.nSubs
+		return a, nil
 	}
-	shift := int64(bits.TrailingZeros64(uint64(v.Params().PageSize)))
+	shift := int64(bits.TrailingZeros64(uint64(pageSize)))
 	kc := newKcompiler(c, shift)
 	if kc.compile(prog.Body) {
-		m := &Machine{prog: prog, vm: v, rt: layer, nSites: c.nSites}
-		kc.install(m)
-		return m, nil
+		a.nSites, a.nSubs = c.nSites, c.nSubs
+		kc.install(a)
+		return a, nil
 	}
 	if c.err != nil {
 		return nil, c.err
@@ -147,11 +192,41 @@ func NewWith(prog *ir.Program, v *vm.VM, layer *rt.Layer, opts Options) (*Machin
 	// the closure interpreter with page-run specialization (a fresh
 	// compiler, since kc consumed site numbering on the shared one).
 	c2 := &compiler{pageWords: c.pageWords}
-	body := c2.stmts(prog.Body)
+	a.body = c2.stmts(prog.Body)
 	if c2.err != nil {
 		return nil, c2.err
 	}
-	return &Machine{prog: prog, vm: v, rt: layer, body: body, nSites: c2.nSites}, nil
+	a.nSites, a.nSubs = c2.nSites, c2.nSubs
+	return a, nil
+}
+
+// Bind attaches the compiled artifact to a fresh VM, allocating the
+// program's arrays in its address space. Allocation order defines
+// addresses, so the VM must have no prior allocations and the bases must
+// land exactly where Resolve placed them.
+func (a *Artifact) Bind(v *vm.VM, layer *rt.Layer) (*Machine, error) {
+	if ps := v.Params().PageSize; ps != a.pageSize {
+		return nil, fmt.Errorf("exec: artifact compiled for page size %d, VM has %d", a.pageSize, ps)
+	}
+	if v.AllocatedPages() != 0 {
+		return nil, fmt.Errorf("exec: VM address space already has allocations")
+	}
+	for _, arr := range a.prog.Arrays {
+		base, err := v.Alloc(arr.Name, arr.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		if base != arr.Base {
+			return nil, fmt.Errorf("exec: array %s resolved at %#x but allocated at %#x", arr.Name, arr.Base, base)
+		}
+	}
+	return &Machine{
+		prog: a.prog, vm: v, rt: layer,
+		body: a.body, nSites: a.nSites, nSubs: a.nSubs,
+		code: a.code, calls: a.calls, aux: a.aux, haux: a.haux,
+		nRI: a.nRI, nRF: a.nRF, pageShift: a.pageShift,
+		reports: a.reports,
+	}, nil
 }
 
 // Run executes the program once. The returned Env exposes final scalar
@@ -164,6 +239,7 @@ func (m *Machine) Run() *Env {
 		rt:     m.rt,
 		rngX:   uint64(m.prog.Seed) & ((1 << 46) - 1),
 		sites:  make([]runSite, m.nSites),
+		subs:   make([]int64, m.nSubs),
 	}
 	for _, p := range m.prog.Params {
 		e.Ints[p.Slot] = p.Val
@@ -186,6 +262,10 @@ func (m *Machine) VM() *vm.VM { return m.vm }
 // qualified). Tests use it to prove specialization actually engaged.
 func (m *Machine) SpecializedSites() int { return m.nSites }
 
+// CallSites returns how many closure-call slots the machine's kernel
+// bytecode carries; see Artifact.CallSites for what tests prove with it.
+func (m *Machine) CallSites() int { return len(m.calls) }
+
 // ---- compilation ---------------------------------------------------------
 
 // compiler lowers IR to closures, tallying a static operation count per
@@ -196,6 +276,7 @@ type compiler struct {
 	noFast    bool
 	pageWords int64    // words per page, for page-run chunk sizing
 	nSites    int      // specialized access sites assigned so far
+	nSubs     int      // maintained-subscript slots assigned so far
 	prof      *profRec // non-nil in the profiling pass (profile.go)
 }
 

@@ -33,22 +33,33 @@ import (
 
 // runSite is the per-execution state of one specialized array access: the
 // frame words of the page the current chunk stays on, the word index of
-// the current iteration's element, and its per-iteration advance.
+// the current iteration's element, its per-iteration advance, and the
+// incrementally-maintained element byte address the driver sizes chunks
+// from.
 type runSite struct {
 	span  []uint64
 	pos   int64
 	delta int64
+	addr  int64
 }
 
 // fastSite is the compile-time description of one access site, in the
-// body's first-touch order.
+// body's first-touch order. Subscripts are affine in the loop variable
+// with loop-invariant remainder (site() rejects anything else), so the
+// driver evaluates idxFns once per entry into the specialized region and
+// afterwards maintains each dimension's subscript value incrementally in
+// e.subs — bounds checks and chunk-exit checks become integer compares
+// on maintained state instead of closure-tree evaluations.
 type fastSite struct {
-	id     int
-	write  bool
-	delta  int64 // word advance per iteration: Σ coeff_d·stride_d · step
-	addrFn iFn   // bounds-checked element address (the slow path's own)
-	idxFns []iFn // per-dimension subscript values; side-effect free
-	dims   []int64
+	id      int
+	subBase int // first slot of this site's subscripts in Env.subs
+	write   bool
+	delta   int64   // word advance per iteration: Σ coeff_d·stride_d · step
+	base    int64   // array base byte address
+	strides []int64 // element strides per dimension
+	cds     []int64 // per-dimension subscript advance: coeff_d · step
+	idxFns  []iFn   // per-dimension subscript values; side-effect free
+	dims    []int64
 }
 
 // fastLoop tries to compile l as a page-run specialized loop. It returns
@@ -72,19 +83,20 @@ func (c *compiler) fastLoop(l *ir.Loop, lo, hi iFn, head int64) (stmtFn, bool) {
 
 	rc := &runCompiler{c: c, slot: l.Slot, step: l.Step, banned: banned, ok: true}
 	siteLo := c.nSites
+	subLo := c.nSubs
 	runFns := make([]stmtFn, 0, len(l.Body))
 	perIter := int64(costLoop)
 	for _, s := range l.Body {
 		fn, cost := rc.stmt(s)
 		if !rc.ok {
-			c.nSites = siteLo
+			c.nSites, c.nSubs = siteLo, subLo
 			return nil, false
 		}
 		runFns = append(runFns, fn)
 		perIter += cost
 	}
 	if len(rc.sites) == 0 {
-		c.nSites = siteLo // pure scalar loop: nothing to specialize
+		c.nSites, c.nSubs = siteLo, subLo // pure scalar loop: nothing to specialize
 		return nil, false
 	}
 
@@ -107,19 +119,62 @@ func (c *compiler) fastLoop(l *ir.Loop, lo, hi iFn, head int64) (stmtFn, bool) {
 	return func(e *Env) {
 		e.vm.AddUserOps(head)
 		h := hi(e)
+		// Per-site element addresses and per-dimension subscript values,
+		// maintained incrementally: each is affine in the loop variable
+		// (every other subscript input is loop-invariant by eligibility),
+		// so after one evaluation of the subscript closures the driver
+		// advances plain integers per iteration and every bounds check is
+		// a compare on maintained state — no closure-tree evaluation on
+		// the steady-state path.
+		addrsValid := false
 		for v := lo(e); v < h; v += step {
 			e.Ints[slot] = v
 			e.vm.AddUserOps(costLoop)
-			slowBody(e)
+			k := (h - v + step - 1) / step
+			if k < 2 {
+				slowBody(e)
+				continue
+			}
+
+			if !addrsValid {
+				for _, sp := range sites {
+					var li int64
+					for d, fn := range sp.idxFns {
+						ix := fn(e)
+						e.subs[sp.subBase+d] = ix
+						li += ix * sp.strides[d]
+					}
+					e.sites[sp.id].addr = sp.base + li*ir.ElemSize
+				}
+				addrsValid = true
+			}
+
+			// Bounds at this iteration. A failure means the body itself
+			// will fault on this iteration's subscripts: the per-element
+			// path runs and panics at its exact site with the body's
+			// partial effects in place. (The maintained address is only
+			// meaningful while subscripts are in bounds, hence the
+			// re-seed flag.)
+			ok := true
+		boundsV:
+			for _, sp := range sites {
+				for d, dim := range sp.dims {
+					if ix := e.subs[sp.subBase+d]; ix < 0 || ix >= dim {
+						ok = false
+						break boundsV
+					}
+				}
+			}
+			if !ok {
+				addrsValid = false
+				slowBody(e)
+				continue
+			}
 
 			// Size the chunk: iterations until any site leaves its page,
 			// capped by the iterations left (including this one).
-			k := (h - v + step - 1) / step
-			if k < 2 {
-				continue
-			}
 			for _, sp := range sites {
-				off := (sp.addrFn(e) & byteMask) >> 3
+				off := (e.sites[sp.id].addr & byteMask) >> 3
 				switch {
 				case sp.delta > 0:
 					if kk := (pageWords-1-off)/sp.delta + 1; kk < k {
@@ -132,35 +187,41 @@ func (c *compiler) fastLoop(l *ir.Loop, lo, hi iFn, head int64) (stmtFn, bool) {
 				}
 			}
 			if k < 2 {
+				slowBody(e)
+				advanceSites(e, sites, 1)
 				continue
 			}
 
-			// A subscript that leaves its array inside the chunk must
-			// panic at its exact iteration: leave it to the per-element
-			// path. Affine subscripts are monotone in v, so checking the
-			// chunk's last iteration covers every iteration in between.
-			e.Ints[slot] = v + (k-1)*step
-			ok := true
+			// Chunk-exit bounds: affine subscripts are monotone in v, so
+			// with this iteration checked above, checking the chunk's
+			// last iteration covers every iteration in between.
 		bounds:
 			for _, sp := range sites {
-				for d, fn := range sp.idxFns {
-					if ix := fn(e); ix < 0 || ix >= sp.dims[d] {
+				for d, dim := range sp.dims {
+					if ix := e.subs[sp.subBase+d] + sp.cds[d]*(k-1); ix < 0 || ix >= dim {
 						ok = false
 						break bounds
 					}
 				}
 			}
-			e.Ints[slot] = v
 			if !ok {
+				slowBody(e)
+				advanceSites(e, sites, 1)
 				continue
 			}
 
-			// Acquire spans in first-touch order. Marking is idempotent
-			// with what iteration v+step's own accesses would do, and on
-			// failure at site i the sites before i carry exactly the marks
-			// the slow path applies before faulting at site i.
+			// Acquire spans in first-touch order. A span acquires only a
+			// hot page and applies exactly the page marks the chunk's
+			// accesses would (referenced, plus dirty for writes), so on
+			// success the whole chunk — first iteration included — runs
+			// on spans: a hot-page access has no effect beyond those
+			// marks. On failure at site i the sites before i carry
+			// exactly the marks the slow path applies before faulting at
+			// site i (page-granular and idempotent), and the per-element
+			// body runs this iteration to fault, classify, and charge
+			// precisely as the slow path does.
 			for _, sp := range sites {
-				addr := sp.addrFn(e)
+				addr := e.sites[sp.id].addr
 				first := (addr & byteMask) >> 3
 				loW, n := first, sp.delta*(k-1)+1
 				if sp.delta < 0 {
@@ -177,30 +238,48 @@ func (c *compiler) fastLoop(l *ir.Loop, lo, hi iFn, head int64) (stmtFn, bool) {
 					break
 				}
 				st := &e.sites[sp.id]
-				st.span, st.pos, st.delta = span, first, sp.delta
+				st.span, st.pos, st.delta = span, first-sp.delta, sp.delta
 			}
 			if !ok {
+				slowBody(e)
+				advanceSites(e, sites, 1)
 				continue
 			}
 
-			// Commit: charge the remaining iterations in one batch (the
-			// pending-ops sum a crossing observes is what matters, and no
-			// crossing can occur inside the chunk) and run them on spans.
-			e.vm.AddUserOps((k - 1) * perIter)
-			for j := int64(1); j < k; j++ {
-				v += step
-				e.Ints[slot] = v
+			// Commit: charge the whole chunk in one batch (costLoop for
+			// this iteration is already charged; the pending-ops sum a
+			// crossing observes is what matters, and no crossing can
+			// occur inside the chunk) and run every iteration on spans.
+			e.vm.AddUserOps(k*perIter - costLoop)
+			for j := int64(1); ; j++ {
 				for i := siteLo; i < siteHi; i++ {
 					st := &e.sites[i]
 					st.pos += st.delta
 				}
 				runBody(e)
+				if j == k {
+					break
+				}
+				v += step
+				e.Ints[slot] = v
 			}
 			for i := siteLo; i < siteHi; i++ {
 				e.sites[i].span = nil // spans die with the chunk
 			}
+			advanceSites(e, sites, k)
 		}
 	}, true
+}
+
+// advanceSites moves every site's maintained address and per-dimension
+// subscript values forward by n iterations.
+func advanceSites(e *Env, sites []*fastSite, n int64) {
+	for _, sp := range sites {
+		e.sites[sp.id].addr += sp.delta * ir.ElemSize * n
+		for d, c := range sp.cds {
+			e.subs[sp.subBase+d] += c * n
+		}
+	}
 }
 
 // runCompiler lowers an eligible loop body to span-indexed closures,
@@ -230,6 +309,7 @@ func (rc *runCompiler) site(arr *ir.Array, idx []ir.IExpr, write bool) *fastSite
 	}
 	var elemCoeff int64
 	idxFns := make([]iFn, len(idx))
+	cds := make([]int64, len(idx))
 	for d, ix := range idx {
 		coeff, ok := rc.affineCoeff(ix)
 		if !ok {
@@ -237,6 +317,7 @@ func (rc *runCompiler) site(arr *ir.Array, idx []ir.IExpr, write bool) *fastSite
 			return nil
 		}
 		elemCoeff += coeff * arr.Strides[d]
+		cds[d] = coeff * rc.step
 		idxFns[d], _ = rc.c.iexpr(ix)
 	}
 	delta := elemCoeff * rc.step
@@ -244,16 +325,19 @@ func (rc *runCompiler) site(arr *ir.Array, idx []ir.IExpr, write bool) *fastSite
 		rc.reject() // every chunk would be a single iteration
 		return nil
 	}
-	addrFn, _ := rc.c.addr(arr, idx)
 	s := &fastSite{
-		id:     rc.c.nSites,
-		write:  write,
-		delta:  delta,
-		addrFn: addrFn,
-		idxFns: idxFns,
-		dims:   arr.Dims,
+		id:      rc.c.nSites,
+		subBase: rc.c.nSubs,
+		write:   write,
+		delta:   delta,
+		base:    arr.Base,
+		strides: arr.Strides,
+		cds:     cds,
+		idxFns:  idxFns,
+		dims:    arr.Dims,
 	}
 	rc.c.nSites++
+	rc.c.nSubs += len(idx)
 	rc.sites = append(rc.sites, s)
 	return s
 }

@@ -1,0 +1,174 @@
+// Differential tests for the exact (double-evaluation) hint lowering:
+// hint shapes that fail hintSideSafe — multi-load indices, impure pages
+// expressions — must run as kernel bytecode via hintExact, tick-identical
+// to the closure oracle, with no opCall fallback.
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/ir"
+	"repro/internal/stripefs"
+)
+
+// twoLoadHintProgram builds the FFT-butterfly-shaped hint: the prefetch
+// index sums two loads from an index array, so a single evaluation is
+// not provably exact (the second load may land on a different page than
+// the first just touched) and the hint must take the hintExact path.
+func twoLoadHintProgram() *ir.Program {
+	const n = 4096 // 8 pages of float64 + 8 pages of int64
+	p := ir.NewProgram("hint2load")
+	np := p.NewParam("n", n, true)
+	a := p.NewArrayF("a", np)
+	c := p.NewArrayI("c", np)
+	s := p.NewScalarF("s")
+	i := p.NewLoopVar("i")
+	p.Body = []ir.Stmt{
+		ir.For(i, ir.Int(0), ir.SubI(np, ir.Int(1)), 1,
+			ir.Prefetch{
+				Arr:   a,
+				Idx:   []ir.IExpr{ir.AddI(ir.LoadI(c, i), ir.LoadI(c, ir.AddI(i, ir.Int(1))))},
+				Pages: ir.Int(2),
+			},
+			ir.SetF(s, ir.AddF(scalarRef(s), ir.LoadF(a, i))),
+		),
+	}
+	return p
+}
+
+func seedTwoLoad(f *stripefs.File, p *ir.Program) {
+	ps := hw.Default().PageSize
+	SeedF64(f, ps, p.ArrayByName("a"), func(i int64) float64 { return float64(i%97) * 0.5 })
+	// Index pairs that hop around the array, so consecutive hint sides
+	// land on different pages.
+	SeedI64(f, ps, p.ArrayByName("c"), func(i int64) int64 { return (i * 709) % 2048 })
+}
+
+func TestHintExactTwoLoadIndex(t *testing.T) {
+	// The loop's only array traffic besides the hint is a streaming sum;
+	// the hint makes the loop a kernel (not span) candidate, so no
+	// specialized sites are required for the test to be meaningful.
+	env, _ := runDifferentialSites(t, twoLoadHintProgram, 8, seedTwoLoad, false)
+	if env.Floats[0] == 0 {
+		t.Fatal("sum is zero — the loop body never ran")
+	}
+}
+
+// impurePagesProgram builds a 2-D strided release whose page count is
+// itself loaded from memory: the pages expression is impure, so the
+// oracle evaluates the index, then the pages (which may fault), then the
+// index again — a sequence only hintExact reproduces.
+func impurePagesProgram() *ir.Program {
+	const rows, cols = 32, 512 // 32 pages of float64
+	p := ir.NewProgram("hintimpure")
+	pr := p.NewParam("r", rows, true)
+	pc := p.NewParam("c", cols, true)
+	a := p.NewArrayF("a", pr, pc)
+	pg := p.NewArrayI("pg", pr)
+	s := p.NewScalarF("s")
+	i := p.NewLoopVar("i")
+	j := p.NewLoopVar("j")
+	p.Body = []ir.Stmt{
+		ir.For(i, ir.Int(0), pr, 1,
+			ir.For(j, ir.Int(0), pc, 1,
+				ir.SetF(s, ir.AddF(scalarRef(s), ir.LoadF(a, i, j))),
+			),
+			ir.Release{
+				Arr:   a,
+				Idx:   []ir.IExpr{i, ir.Int(0)},
+				Pages: ir.LoadI(pg, i),
+			},
+		),
+	}
+	return p
+}
+
+func seedImpurePages(f *stripefs.File, p *ir.Program) {
+	ps := hw.Default().PageSize
+	SeedF64(f, ps, p.ArrayByName("a"), func(i int64) float64 { return float64(i % 13) })
+	SeedI64(f, ps, p.ArrayByName("pg"), func(i int64) int64 { return 1 + i%2 })
+}
+
+func TestHintExactImpurePages(t *testing.T) {
+	// The inner sum loop must still get the span driver (requireSites):
+	// the exact hint lowering lives in the outer kernel loop around it.
+	runDifferentialSites(t, impurePagesProgram, 16, seedImpurePages, true)
+}
+
+// mixedHintProgram bundles a side-safe prefetch with an impure-pages
+// release in one PrefetchRelease. One unsafe side routes the whole
+// bundled hint through hintExact — the two sides share a dispatch, so
+// they cannot split between templates.
+func mixedHintProgram() *ir.Program {
+	const n = 4096
+	p := ir.NewProgram("hintmixed")
+	np := p.NewParam("n", n, true)
+	a := p.NewArrayF("a", np)
+	c := p.NewArrayI("c", np)
+	s := p.NewScalarF("s")
+	i := p.NewLoopVar("i")
+	p.Body = []ir.Stmt{
+		ir.For(i, ir.Int(0), np, 1,
+			ir.PrefetchRelease{
+				PfArr: a, PfIdx: []ir.IExpr{ir.AddI(i, ir.Int(512))}, PfPages: ir.Int(4),
+				RelArr: a, RelIdx: []ir.IExpr{i}, RelPages: ir.LoadI(c, i),
+			},
+			ir.SetF(s, ir.AddF(scalarRef(s), ir.LoadF(a, i))),
+		),
+	}
+	return p
+}
+
+func seedMixed(f *stripefs.File, p *ir.Program) {
+	ps := hw.Default().PageSize
+	SeedF64(f, ps, p.ArrayByName("a"), func(i int64) float64 { return float64(i) })
+	SeedI64(f, ps, p.ArrayByName("c"), func(i int64) int64 { return i % 3 })
+}
+
+func TestHintExactMixedPrefetchRelease(t *testing.T) {
+	runDifferentialSites(t, mixedHintProgram, 8, seedMixed, false)
+}
+
+// TestHintLoweringNoClosureFallback proves the structural claim behind
+// the differentials: every hint statement is lowered to bytecode (the
+// enclosing loop reports the kernel driver and counts its hints), and
+// the bytecode's only closure-call slots are page-run span drivers —
+// exactly one per page-run loop report, so hint sites contribute none.
+func TestHintLoweringNoClosureFallback(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() *ir.Program
+	}{
+		{"two-load-index", twoLoadHintProgram},
+		{"impure-pages", impurePagesProgram},
+		{"mixed-bundle", mixedHintProgram},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, m := buildWith(t, tc.mk(), 16, Options{})
+			hints, kernels, pageRuns := 0, 0, 0
+			for _, r := range m.Reports() {
+				hints += r.Hints
+				switch r.Driver {
+				case "kernel":
+					kernels++
+				case "page-run":
+					pageRuns++
+				case "closure":
+					t.Errorf("loop %s fell back to the closure driver (%s)", r.Var, r.Reason)
+				}
+			}
+			if hints != 1 {
+				t.Errorf("lowered hints = %d, want 1 (reports: %v)", hints, m.Reports())
+			}
+			if kernels == 0 {
+				t.Error("no loop reports the kernel driver — hint lowering never engaged")
+			}
+			if got := m.CallSites(); got != pageRuns {
+				t.Errorf("CallSites = %d, want %d (one per page-run loop, none for hints)",
+					got, pageRuns)
+			}
+		})
+	}
+}

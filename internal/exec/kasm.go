@@ -6,7 +6,7 @@ package exec
 // to prove a temporary register dead before eliminating its writer.
 func intReads(in kinstr, f func(r uint16)) {
 	switch in.op {
-	case opJumpGeI, opJCmpI, opHintN:
+	case opJumpGeI, opJCmpI, opHintN, opChargeTrips:
 		f(in.a)
 		f(in.b)
 	case opLoopEnd, opLoopEndS:
@@ -36,6 +36,8 @@ func intReads(in kinstr, f func(r uint16)) {
 	case opStoreI1, opStoreIA:
 		f(in.a)
 		f(in.dst)
+	case opFMulI, opFDivI:
+		f(in.b)
 	case opHint:
 		f(in.a)
 		f(in.b)
@@ -57,20 +59,83 @@ func intWrite(in kinstr) (uint16, bool) {
 	return 0, false
 }
 
+// fltReads calls f for each float register the instruction reads. Like
+// intReads, the enumeration must stay exhaustive: the peephole pass
+// relies on it to prove a float temporary dead before eliminating its
+// writer.
+func fltReads(in kinstr, f func(r uint16)) {
+	switch in.op {
+	case opJCmpF, opFAccM, opFAdd, opFSub, opFMul, opFDiv, opFMin, opFMax,
+		opPow, opFAddS, opFSubS:
+		f(in.a)
+		f(in.b)
+	case opSetF, opFAcc, opFNeg, opSqrt, opAbs, opLog, opExp, opSin, opCos,
+		opIFromF, opFMulI, opFDivI, opCosS, opSinS:
+		f(in.a)
+	case opStoreF1, opStoreFA:
+		f(in.dst)
+	case opFMAdd, opFMSub, opFMAddS, opFMSubS:
+		f(in.a)
+		f(in.b)
+		f(uint16(in.imm))
+	}
+}
+
+// fltWrite returns the float register the instruction writes, if any.
+func fltWrite(in kinstr) (uint16, bool) {
+	switch in.op {
+	case opFConst, opFSlot, opFAdd, opFSub, opFMul, opFDiv, opFMin, opFMax,
+		opFNeg, opFromI, opSqrt, opAbs, opLog, opExp, opSin, opCos, opPow,
+		opRandlc, opLoadF1, opLoadFA,
+		opFMulI, opFDivI, opFMAdd, opFMSub,
+		opFAddS, opFSubS, opFMAddS, opFMSubS, opCosS, opSinS:
+		return in.dst, true
+	}
+	return 0, false
+}
+
+// setFused maps a float producer to its store-fused variant, for fusing
+// the opSetF that consumes its result. Only opcodes whose imm2 field is
+// free can carry the slot.
+func setFused(op kop) (kop, bool) {
+	switch op {
+	case opFAdd:
+		return opFAddS, true
+	case opFSub:
+		return opFSubS, true
+	case opFMAdd:
+		return opFMAddS, true
+	case opFMSub:
+		return opFMSubS, true
+	case opCos:
+		return opCosS, true
+	case opSin:
+		return opSinS, true
+	}
+	return 0, false
+}
+
 // peephole fuses adjacent instruction patterns. It runs before assembly,
 // while jump targets are still opLabel markers, so removing instructions
 // cannot skew a target. Temporaries are only eliminated when a whole-code
 // census proves they are written once and read once, by the fused pair.
-func peephole(code []kinstr, nRI int, haux []hintAux) []kinstr {
+func peephole(code []kinstr, nRI, nRF int, haux []hintAux) []kinstr {
 	reads := make([]int32, nRI)
 	writes := make([]int32, nRI)
+	freads := make([]int32, nRF)
+	fwrites := make([]int32, nRF)
 	for _, in := range code {
 		intReads(in, func(r uint16) { reads[r]++ })
 		if w, ok := intWrite(in); ok {
 			writes[w]++
 		}
+		fltReads(in, func(r uint16) { freads[r]++ })
+		if w, ok := fltWrite(in); ok {
+			fwrites[w]++
+		}
 	}
 	dead1 := func(r uint16) bool { return reads[r] == 1 && writes[r] == 1 }
+	fdead1 := func(r uint16) bool { return freads[r] == 1 && fwrites[r] == 1 }
 
 	out := make([]kinstr, 0, len(code))
 	for i := 0; i < len(code); i++ {
@@ -121,6 +186,61 @@ func peephole(code []kinstr, nRI int, haux []hintAux) []kinstr {
 				imm: code[i].imm, imm2: code[i+1].imm})
 			i++
 			continue
+		}
+		// t = float(ri); d = x·t or x/t   -->   one dispatch. The float
+		// conversion folds into its single consumer (the FFT twiddle
+		// argument c·float(j)/float(1<<s) is two of these).
+		if i+1 < len(code) && code[i].op == opFromI && fdead1(code[i].dst) {
+			t := code[i].dst
+			n := code[i+1]
+			if n.op == opFMul {
+				if x, ok := otherOperand(n, t); ok && x != t {
+					out = append(out, kinstr{op: opFMulI, dst: n.dst, a: x, b: code[i].a})
+					i++
+					continue
+				}
+			}
+			if n.op == opFDiv && n.b == t && n.a != t {
+				out = append(out, kinstr{op: opFDivI, dst: n.dst, a: n.a, b: code[i].a})
+				i++
+				continue
+			}
+		}
+		// t = b·c; d = x ± t   -->   fused multiply-add/subtract (the
+		// butterfly's wre·re ± wim·im pairs). Float arithmetic order is
+		// preserved exactly: the product is still computed first and
+		// rounded once, then added or subtracted.
+		if i+1 < len(code) && code[i].op == opFMul && fdead1(code[i].dst) {
+			t := code[i].dst
+			n := code[i+1]
+			if n.op == opFAdd {
+				if x, ok := otherOperand(n, t); ok && x != t {
+					out = append(out, kinstr{op: opFMAdd, dst: n.dst, a: x,
+						b: code[i].a, imm: int64(code[i].b)})
+					i++
+					continue
+				}
+			}
+			if n.op == opFSub && n.b == t && n.a != t {
+				out = append(out, kinstr{op: opFMSub, dst: n.dst, a: n.a,
+					b: code[i].a, imm: int64(code[i].b)})
+				i++
+				continue
+			}
+		}
+		// d = alu(...); Floats[s] = d   -->   store-fused variant. d stays
+		// written, so no deadness proof is needed; the pair is simply one
+		// dispatch. Matches products of the fusions above on the second
+		// peephole pass.
+		if i+1 < len(code) && code[i+1].op == opSetF && code[i+1].a == code[i].dst {
+			if sop, ok := setFused(code[i].op); ok {
+				in := code[i]
+				in.op = sop
+				in.imm2 = code[i+1].imm
+				out = append(out, in)
+				i++
+				continue
+			}
 		}
 		out = append(out, code[i])
 	}

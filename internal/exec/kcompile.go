@@ -30,13 +30,22 @@ type kloop struct {
 	written  map[int]bool // int slots the body writes (incl. nested vars)
 	fwritten map[int]bool // float slots the body writes
 	hoist    []kinstr     // loop-invariant code, spliced before the guard
-	hoistCse map[string]uint16
+	hoistCse map[uint64]cseEnt
+	hints    int // hint statements in the direct body lowered to bytecode
+}
+
+// cseEnt is one value-numbering fact: register r holds expression e. The
+// expression is kept so a hash collision degrades to a CSE miss instead
+// of a wrong reuse (lookups verify structural equality).
+type cseEnt struct {
+	e ir.IExpr
+	r uint16
 }
 
 // kmaps is a snapshot of the value-numbering state.
 type kmaps struct {
-	cse    map[string]uint16
-	cseDep map[string][]int
+	cse    map[uint64]cseEnt
+	cseDep map[uint64][]int
 	bind   map[int]uint16
 	fbind  map[int]uint16
 }
@@ -54,8 +63,8 @@ type kcompiler struct {
 	nRI, nRF int
 	overflow bool // ran out of registers (or call/aux slots)
 
-	cse    map[string]uint16 // pure int expr -> register holding it
-	cseDep map[string][]int  // its slot dependencies, for invalidation
+	cse    map[uint64]cseEnt // pure int expr -> register holding it
+	cseDep map[uint64][]int  // its slot dependencies, for invalidation
 	bind   map[int]uint16    // int slot -> register mirroring it
 	fbind  map[int]uint16    // float slot -> register mirroring it
 	iconst map[int64]uint16
@@ -66,16 +75,17 @@ type kcompiler struct {
 	auxIdx map[string]int
 	haux   []hintAux
 
-	loops   []*kloop
-	reports []LoopReport
+	loops     []*kloop
+	reports   []LoopReport
+	lastHints int // hint count of the most recently compiled loop body
 }
 
 func newKcompiler(oc *compiler, shift int64) *kcompiler {
 	kc := &kcompiler{
 		oc: oc, shift: shift,
 		nRI: 1, nRF: 1, // ri[0]/rf[0] are permanent zeros
-		cse:    map[string]uint16{},
-		cseDep: map[string][]int{},
+		cse:    map[uint64]cseEnt{},
+		cseDep: map[uint64][]int{},
 		bind:   map[int]uint16{},
 		fbind:  map[int]uint16{},
 		iconst: map[int64]uint16{},
@@ -99,13 +109,13 @@ func (kc *kcompiler) compile(body []ir.Stmt) bool {
 	code = append(code, kc.code...)
 	// Two passes: the second fuses across products of the first
 	// (opIdx3 feeding opHintLoad1 becomes a single opHintIdx3).
-	code = peephole(peephole(code, kc.nRI, kc.haux), kc.nRI, kc.haux)
+	code = peephole(peephole(code, kc.nRI, kc.nRF, kc.haux), kc.nRI, kc.nRF, kc.haux)
 	kc.code = assemble(code, kc.labels)
 	fuseDotLoop(kc.code)
 	return true
 }
 
-func (kc *kcompiler) install(m *Machine) {
+func (kc *kcompiler) install(m *Artifact) {
 	m.code = kc.code
 	m.calls = kc.calls
 	m.aux = kc.aux
@@ -235,17 +245,40 @@ func (kc *kcompiler) fconstReg(v float64) uint16 {
 
 // ---- value numbering -----------------------------------------------------
 
-// keyI builds a structural key for a pure integer expression.
-func keyI(x ir.IExpr) string {
+// keyI builds a structural hash for a pure integer expression (FNV-style
+// word mixing; no per-node garbage). Collisions are tolerated: every
+// consumer re-checks sameI before trusting a table hit.
+func keyI(x ir.IExpr) uint64 {
+	const prime = 1099511628211
 	switch e := x.(type) {
 	case ir.IConst:
-		return fmt.Sprintf("c%d", e.Val)
+		return (0x9e3779b97f4a7c15 ^ uint64(e.Val)) * prime
 	case ir.ISlot:
-		return fmt.Sprintf("s%d", e.Slot)
+		return (0xc2b2ae3d27d4eb4f ^ uint64(e.Slot)) * prime
 	case ir.IBin:
-		return fmt.Sprintf("(%d %s %s)", e.Op, keyI(e.A), keyI(e.B))
+		h := (0x165667b19e3779f9 ^ uint64(e.Op)) * prime
+		h = (h ^ keyI(e.A)) * prime
+		h = (h ^ keyI(e.B)) * prime
+		return h
 	}
-	return "?"
+	return 0
+}
+
+// sameI reports structural equality of two expressions over the pure
+// IConst/ISlot/IBin domain keyI covers; any other node compares unequal.
+func sameI(a, b ir.IExpr) bool {
+	switch x := a.(type) {
+	case ir.IConst:
+		y, ok := b.(ir.IConst)
+		return ok && x.Val == y.Val
+	case ir.ISlot:
+		y, ok := b.(ir.ISlot)
+		return ok && x.Slot == y.Slot
+	case ir.IBin:
+		y, ok := b.(ir.IBin)
+		return ok && x.Op == y.Op && sameI(x.A, y.A) && sameI(x.B, y.B)
+	}
+	return false
 }
 
 func slotsOf(x ir.IExpr) []int {
@@ -282,16 +315,16 @@ func cloneIU(m map[int]uint16) map[int]uint16 {
 	return out
 }
 
-func cloneSU(m map[string]uint16) map[string]uint16 {
-	out := make(map[string]uint16, len(m))
+func cloneSU(m map[uint64]cseEnt) map[uint64]cseEnt {
+	out := make(map[uint64]cseEnt, len(m))
 	for k, v := range m {
 		out[k] = v
 	}
 	return out
 }
 
-func cloneSD(m map[string][]int) map[string][]int {
-	out := make(map[string][]int, len(m))
+func cloneSD(m map[uint64][]int) map[uint64][]int {
+	out := make(map[uint64][]int, len(m))
 	for k, v := range m {
 		out[k] = v
 	}
@@ -379,11 +412,11 @@ func (kc *kcompiler) stmt(s ir.Stmt) {
 	case ir.If:
 		kc.ifStmt(x)
 	case ir.Prefetch:
-		kc.hint(s, x.Arr, x.Idx, x.Pages, nil, nil, nil)
+		kc.hint(x.Arr, x.Idx, x.Pages, nil, nil, nil)
 	case ir.Release:
-		kc.hint(s, nil, nil, nil, x.Arr, x.Idx, x.Pages)
+		kc.hint(nil, nil, nil, x.Arr, x.Idx, x.Pages)
 	case ir.PrefetchRelease:
-		kc.hint(s, x.PfArr, x.PfIdx, x.PfPages, x.RelArr, x.RelIdx, x.RelPages)
+		kc.hint(x.PfArr, x.PfIdx, x.PfPages, x.RelArr, x.RelIdx, x.RelPages)
 	default:
 		oc.fail("unknown statement %T", s)
 	}
@@ -480,7 +513,7 @@ func (kc *kcompiler) tryFAccDot(slot int, mul ir.FBin) bool {
 	if !isLd || len(ld.Idx) != 1 || len(ld.Arr.Strides) != 1 {
 		return false
 	}
-	if !ir.PureIExpr(la.Idx[0]) || keyI(la.Idx[0]) != keyI(ld.Idx[0]) {
+	if !ir.PureIExpr(la.Idx[0]) || !sameI(la.Idx[0], ld.Idx[0]) {
 		return false
 	}
 	t := kc.iexpr(la.Idx[0])
@@ -495,6 +528,16 @@ func (kc *kcompiler) tryFAccDot(slot int, mul ir.FBin) bool {
 }
 
 // ---- loops ---------------------------------------------------------------
+
+// spanMinTrip is the trip count below which a page-run-eligible loop's
+// guarded dual lowering takes the plain bytecode branch instead of the
+// span driver. Short invocations cannot amortize the driver's entry
+// work (bound evaluation, lazy subscript seeding, chunk sizing) and
+// mostly land in its per-element slow path anyway; strip-mined nests
+// like the FFT butterflies run the same loop at trips from 1 to
+// thousands, so the choice has to be made at run time. Both branches
+// charge and fault identically — the guard only moves host time.
+const spanMinTrip = 8
 
 func (kc *kcompiler) loop(l *ir.Loop) {
 	oc := kc.oc
@@ -512,9 +555,33 @@ func (kc *kcompiler) loop(l *ir.Loop) {
 	before := oc.nSites
 	if fn, ok := oc.fastLoop(l, lo, hi, head); ok {
 		// Page-run span driver: embed it whole. It charges its own head
-		// and per-iteration costs and writes slots directly.
+		// and per-iteration costs and writes slots directly. When the
+		// bounds are pure, guard it with a runtime trip-count check that
+		// routes short invocations to an inline bytecode copy of the loop.
 		kc.flush()
-		kc.emit(kinstr{op: opCall, b: kc.addCall(fn)})
+		call := kc.addCall(fn)
+		if ir.PureIExpr(l.Lo) && ir.PureIExpr(l.Hi) {
+			// Pure bounds: evaluating them ahead of the driver (which
+			// re-evaluates internally) is unobservable and charge-free.
+			rh := kc.iexpr(l.Hi)
+			rlo := kc.iexpr(l.Lo)
+			rd := kc.iReg()
+			kc.emit(kinstr{op: opISub, dst: rd, a: rh, b: rlo})
+			rT := kc.iconstReg(spanMinTrip * l.Step)
+			lByte, lEnd := kc.newLabel(), kc.newLabel()
+			snap := kc.snapshot()
+			kc.emit(kinstr{op: opJCmpI, dst: cmpSense(ir.Lt, true), a: rd, b: rT, imm: int64(lByte)})
+			kc.emit(kinstr{op: opCall, b: call})
+			kc.emit(kinstr{op: opJump, imm: int64(lEnd)})
+			kc.mark(lByte)
+			kc.restore(snap)
+			kc.kernelLoop(l, depth, head, true, rh, rlo)
+			kc.flush()
+			kc.mark(lEnd)
+			kc.restore(snap)
+		} else {
+			kc.emit(kinstr{op: opCall, b: call})
+		}
 		for s := range ir.WrittenSlots(l.Body, map[int]bool{l.Slot: true}) {
 			kc.invalidateSlot(s)
 		}
@@ -525,6 +592,7 @@ func (kc *kcompiler) loop(l *ir.Loop) {
 			Var: l.Var, Depth: depth, Driver: "page-run", Sites: oc.nSites - before})
 		return
 	}
+	ri := len(kc.reports)
 	kc.reports = append(kc.reports, LoopReport{
 		Var: l.Var, Depth: depth, Driver: "kernel",
 		Reason: classifyLoop(l, oc.pageWords)})
@@ -532,6 +600,21 @@ func (kc *kcompiler) loop(l *ir.Loop) {
 	kc.charge(head)
 	rh := kc.iexpr(l.Hi) // runtime order: hi before lo, like the oracle
 	rlo := kc.iexpr(l.Lo)
+	kc.kernelLoop(l, depth, head, false, rh, rlo)
+	kc.reports[ri].Hints = kc.lastHints
+}
+
+// kernelLoop emits the plain bytecode lowering of l with its bounds
+// already in registers rh/rlo. On the standalone kernel path the caller
+// has charged head; the guarded dual path passes chargeHead because the
+// driver branch charges its own head, so the bytecode branch must carry
+// the charge itself — moving it below the pure bound evaluation is
+// exact, since nothing in between can fault. The direct body's hint
+// count is left in kc.lastHints.
+func (kc *kcompiler) kernelLoop(l *ir.Loop, depth int, head int64, chargeHead bool, rh, rlo uint16) {
+	if chargeHead {
+		kc.charge(head)
+	}
 	rv := kc.iReg()
 	kc.emit(kinstr{op: opIMove, dst: rv, a: rlo})
 	kc.flush()
@@ -540,7 +623,7 @@ func (kc *kcompiler) loop(l *ir.Loop) {
 		slot:     l.Slot,
 		written:  ir.WrittenSlots(l.Body, nil),
 		fwritten: writtenFSlots(l.Body, nil),
-		hoistCse: map[string]uint16{},
+		hoistCse: map[uint64]cseEnt{},
 	}
 	snap := kc.snapshot()
 	for s := range ctx.written {
@@ -561,17 +644,33 @@ func (kc *kcompiler) loop(l *ir.Loop) {
 	kc.flush()
 	kc.buf = saved
 	kc.loops = kc.loops[:depth]
+	kc.lastHints = ctx.hints
 
 	// Layout: the preheader stores the first induction value; the back
 	// edge (opLoopEndS) stores every subsequent one, so the loop top
-	// costs zero extra dispatches per iteration.
+	// costs zero extra dispatches per iteration. A pure-scalar body gets
+	// the promoted layout of kscalar.go: hoisted reads after the guard,
+	// deferred stores and the batched charge on the fall-through exit,
+	// both skipped by the zero-trip jump exactly as the oracle's untaken
+	// loop touches nothing.
+	promo := promoteScalarLoop(bodyBuf, rv)
 	lTop, lEnd := kc.newLabel(), kc.newLabel()
 	*kc.buf = append(*kc.buf, ctx.hoist...)
 	kc.emit(kinstr{op: opJumpGeI, a: rv, b: rh, imm: int64(lEnd)})
+	if promo != nil {
+		bodyBuf = promo.body
+		*kc.buf = append(*kc.buf, promo.pre...)
+	}
 	kc.emit(kinstr{op: opSetSlot, a: rv, imm: int64(l.Slot)})
 	kc.mark(lTop)
 	*kc.buf = append(*kc.buf, bodyBuf...)
 	kc.emit(kinstr{op: opLoopEndS, dst: rv, a: uint16(l.Slot), b: rh, imm: l.Step, imm2: int64(lTop)})
+	if promo != nil {
+		*kc.buf = append(*kc.buf, promo.post...)
+		if promo.perIter != 0 {
+			kc.emit(kinstr{op: opChargeTrips, a: rv, b: rlo, imm: promo.perIter, imm2: l.Step})
+		}
+	}
 	kc.mark(lEnd)
 
 	kc.restore(snap)

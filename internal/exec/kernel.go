@@ -46,6 +46,12 @@ const (
 	opCall     // m.calls[b](e)   (closure fallback / page-run driver)
 	opSetSlot  // Ints[imm] = ri[a]
 	opSetSlotC // Ints[imm] = ri[a]; vm.AddUserOps(imm2)
+	// opChargeTrips charges a promoted scalar loop's deferred
+	// per-iteration costs in one dispatch on the exit path:
+	// vm.AddUserOps(imm * (ri[a]-ri[b])/imm2) with a = the induction
+	// register after the loop, b = the initial bound, imm2 = the step,
+	// so the multiplier is exactly the executed trip count.
+	opChargeTrips
 
 	// integer ALU
 	opIMove // ri[dst] = ri[a]
@@ -87,6 +93,21 @@ const (
 	opCos
 	opPow
 	opRandlc
+	// peephole-fused float pairs (kasm.go): the FromInt feeding a
+	// product or quotient, and the multiply feeding an add/subtract,
+	// collapse into one dispatch when the temporary is dead.
+	opFMulI // rf[dst] = rf[a] * float64(ri[b])
+	opFDivI // rf[dst] = rf[a] / float64(ri[b])
+	opFMAdd // rf[dst] = rf[a] + rf[b]*rf[imm]
+	opFMSub // rf[dst] = rf[a] - rf[b]*rf[imm]
+	// store-fused variants: identical result, plus Floats[imm2] = rf[dst]
+	// (the scalar-set that followed; the register stays live).
+	opFAddS
+	opFSubS
+	opFMAddS
+	opFMSubS
+	opCosS
+	opSinS
 
 	// memory: 1-D fused address+check+access (imm = array base,
 	// imm2 = dim extent, a = index reg, b = auxDim for the panic path)
@@ -223,6 +244,8 @@ func (m *Machine) runK(e *Env) {
 		case opSetSlotC:
 			ints[in.imm] = ri[in.a]
 			v.AddUserOps(in.imm2)
+		case opChargeTrips:
+			v.AddUserOps(in.imm * ((ri[in.a] - ri[in.b]) / in.imm2))
 
 		case opIMove:
 			ri[in.dst] = ri[in.a]
@@ -321,6 +344,38 @@ func (m *Machine) runK(e *Env) {
 			rf[in.dst] = math.Pow(rf[in.a], rf[in.b])
 		case opRandlc:
 			rf[in.dst] = e.randlc()
+		case opFMulI:
+			rf[in.dst] = rf[in.a] * float64(ri[in.b])
+		case opFDivI:
+			rf[in.dst] = rf[in.a] / float64(ri[in.b])
+		case opFMAdd:
+			rf[in.dst] = rf[in.a] + rf[in.b]*rf[in.imm]
+		case opFMSub:
+			rf[in.dst] = rf[in.a] - rf[in.b]*rf[in.imm]
+		case opFAddS:
+			x := rf[in.a] + rf[in.b]
+			rf[in.dst] = x
+			floats[in.imm2] = x
+		case opFSubS:
+			x := rf[in.a] - rf[in.b]
+			rf[in.dst] = x
+			floats[in.imm2] = x
+		case opFMAddS:
+			x := rf[in.a] + rf[in.b]*rf[in.imm]
+			rf[in.dst] = x
+			floats[in.imm2] = x
+		case opFMSubS:
+			x := rf[in.a] - rf[in.b]*rf[in.imm]
+			rf[in.dst] = x
+			floats[in.imm2] = x
+		case opCosS:
+			x := math.Cos(rf[in.a])
+			rf[in.dst] = x
+			floats[in.imm2] = x
+		case opSinS:
+			x := math.Sin(rf[in.a])
+			rf[in.dst] = x
+			floats[in.imm2] = x
 
 		case opLoadF1:
 			ix := ri[in.a]

@@ -29,14 +29,14 @@ func (kc *kcompiler) iexpr(x ir.IExpr) uint16 {
 		}
 		if ir.PureIExpr(e) {
 			k := keyI(e)
-			if r, ok := kc.lookupCse(k); ok {
+			if r, ok := kc.lookupCse(k, e); ok {
 				return r
 			}
 			if r, ok := kc.tryHoist(e, k); ok {
 				return r
 			}
 			r := kc.compileIBin(e)
-			kc.cse[k] = r
+			kc.cse[k] = cseEnt{e: e, r: r}
 			kc.cseDep[k] = slotsOf(e)
 			return r
 		}
@@ -55,13 +55,13 @@ func (kc *kcompiler) iexpr(x ir.IExpr) uint16 {
 
 // lookupCse checks the local table, then hoisted invariants of every
 // enclosing loop (their code dominates the current position).
-func (kc *kcompiler) lookupCse(k string) (uint16, bool) {
-	if r, ok := kc.cse[k]; ok {
-		return r, true
+func (kc *kcompiler) lookupCse(k uint64, e ir.IExpr) (uint16, bool) {
+	if ent, ok := kc.cse[k]; ok && sameI(ent.e, e) {
+		return ent.r, true
 	}
 	for i := len(kc.loops) - 1; i >= 0; i-- {
-		if r, ok := kc.loops[i].hoistCse[k]; ok {
-			return r, true
+		if ent, ok := kc.loops[i].hoistCse[k]; ok && sameI(ent.e, e) {
+			return ent.r, true
 		}
 	}
 	return 0, false
@@ -71,7 +71,7 @@ func (kc *kcompiler) lookupCse(k string) (uint16, bool) {
 // into the innermost enclosing loop's preamble. Hoisted code runs even
 // for zero-trip loops, which is unobservable: it is pure ALU into fresh
 // registers and carries no charge.
-func (kc *kcompiler) tryHoist(e ir.IBin, k string) (uint16, bool) {
+func (kc *kcompiler) tryHoist(e ir.IBin, k uint64) (uint16, bool) {
 	if len(kc.loops) == 0 || ir.MayTrapIExpr(e) {
 		return 0, false
 	}
@@ -85,11 +85,11 @@ func (kc *kcompiler) tryHoist(e ir.IBin, k string) (uint16, bool) {
 	if dep {
 		return 0, false
 	}
-	if r, ok := ctx.hoistCse[k]; ok {
-		return r, true
+	if ent, ok := ctx.hoistCse[k]; ok && sameI(ent.e, e) {
+		return ent.r, true
 	}
 	r := kc.compileHoisted(e, ctx)
-	ctx.hoistCse[k] = r
+	ctx.hoistCse[k] = cseEnt{e: e, r: r}
 	return r, true
 }
 
@@ -102,20 +102,20 @@ func (kc *kcompiler) compileHoisted(x ir.IExpr, ctx *kloop) uint16 {
 		return kc.iconstReg(e.Val)
 	case ir.ISlot:
 		k := keyI(e)
-		if r, ok := ctx.hoistCse[k]; ok {
-			return r
+		if ent, ok := ctx.hoistCse[k]; ok && sameI(ent.e, e) {
+			return ent.r
 		}
 		r := kc.iReg()
 		ctx.hoist = append(ctx.hoist, kinstr{op: opISlot, dst: r, imm: int64(e.Slot)})
-		ctx.hoistCse[k] = r
+		ctx.hoistCse[k] = cseEnt{e: e, r: r}
 		return r
 	case ir.IBin:
 		if v, ok := ir.ConstFold(e); ok {
 			return kc.iconstReg(v)
 		}
 		k := keyI(e)
-		if r, ok := ctx.hoistCse[k]; ok {
-			return r
+		if ent, ok := ctx.hoistCse[k]; ok && sameI(ent.e, e) {
+			return ent.r
 		}
 		a := kc.compileHoisted(e.A, ctx)
 		b := kc.compileHoisted(e.B, ctx)
@@ -125,7 +125,7 @@ func (kc *kcompiler) compileHoisted(x ir.IExpr, ctx *kloop) uint16 {
 			return 0
 		}
 		ctx.hoist = append(ctx.hoist, kinstr{op: op, dst: r, a: a, b: b})
-		ctx.hoistCse[k] = r
+		ctx.hoistCse[k] = cseEnt{e: e, r: r}
 		return r
 	}
 	return 0 // unreachable: callers check PureIExpr
@@ -425,6 +425,10 @@ func (kc *kcompiler) condJump(x ir.BExpr, target int, sense bool) {
 // whose second execution then hits the page the first just touched, with
 // pure subscripts so it reads the same address. Randlc and float state
 // (IFromF) are never safe to elide.
+//
+// This is a template-selection heuristic, not a correctness gate: a side
+// that fails it is lowered by hintExact, which replays the oracle's
+// double evaluation in bytecode instead of eliding the second one.
 func hintSideSafe(idx []ir.IExpr, pages ir.IExpr) bool {
 	if !ir.PureIExpr(pages) {
 		return false
@@ -455,7 +459,7 @@ func hintSideSafe(idx []ir.IExpr, pages ir.IExpr) bool {
 	return ok && loads <= 1
 }
 
-func (kc *kcompiler) hint(s ir.Stmt, pfArr *ir.Array, pfIdx []ir.IExpr, pfPages ir.IExpr,
+func (kc *kcompiler) hint(pfArr *ir.Array, pfIdx []ir.IExpr, pfPages ir.IExpr,
 	relArr *ir.Array, relIdx []ir.IExpr, relPages ir.IExpr) {
 
 	oc := kc.oc
@@ -471,16 +475,18 @@ func (kc *kcompiler) hint(s ir.Stmt, pfArr *ir.Array, pfIdx []ir.IExpr, pfPages 
 	if oc.err != nil {
 		return
 	}
-	if (pfArr != nil && !hintSideSafe(pfIdx, pfPages)) ||
-		(relArr != nil && !hintSideSafe(relIdx, relPages)) {
-		// Single evaluation not provably exact: run the oracle's closure.
-		// Hint closures write no scalar state, so register facts survive.
-		fn := oc.stmt(s)
-		kc.flush()
-		kc.emit(kinstr{op: opCall, b: kc.addCall(fn)})
-		return
+	if n := len(kc.loops); n > 0 {
+		kc.loops[n-1].hints++
 	}
 	kc.charge(cost)
+	if (pfArr != nil && !hintSideSafe(pfIdx, pfPages)) ||
+		(relArr != nil && !hintSideSafe(relIdx, relPages)) {
+		// Single evaluation not provably exact: replay the oracle's double
+		// evaluation in bytecode. Hint code writes no scalar slots, so
+		// register facts survive.
+		kc.hintExact(pfArr, pfIdx, pfPages, relArr, relIdx, relPages)
+		return
+	}
 
 	// Fused template: constant-page indirect prefetch (a[col[k]] shape),
 	// no release side — one instruction per hint.
@@ -553,5 +559,42 @@ func (kc *kcompiler) hintCount(arr *ir.Array, pages ir.IExpr, rp uint16) uint16 
 	rn := kc.iReg()
 	lastPage := (arr.Base + arr.Elems*ir.ElemSize - 1) >> kc.shift
 	kc.emit(kinstr{op: opHintN, dst: rn, a: rn0, b: rp, imm: lastPage})
+	return rn
+}
+
+// hintExact lowers a hint some side of which is not provably safe to
+// evaluate once, by replaying the oracle's exact evaluation order in
+// bytecode. Per side: the linear index is evaluated for the dispatch
+// page, the pages expression is evaluated, and the index is evaluated a
+// second time for the count clamp — so every load (and any generator
+// call) in the subscripts executes exactly as many times, in exactly
+// the order, the closure oracle's hintRange would, with identical page
+// touches. Pure subexpressions may still CSE across the two
+// evaluations: re-running them is unobservable.
+func (kc *kcompiler) hintExact(pfArr *ir.Array, pfIdx []ir.IExpr, pfPages ir.IExpr,
+	relArr *ir.Array, relIdx []ir.IExpr, relPages ir.IExpr) {
+	var rpp, rpn uint16
+	if pfArr != nil {
+		rpp = kc.hintPage(pfArr, pfIdx)
+		rpn = kc.hintCountExact(pfArr, pfPages, pfIdx)
+	}
+	var rrp, rrn uint16
+	if relArr != nil {
+		rrp = kc.hintPage(relArr, relIdx)
+		rrn = kc.hintCountExact(relArr, relPages, relIdx)
+	}
+	kc.flush()
+	kc.emit(kinstr{op: opHint, a: rpp, b: rpn, dst: rrp, imm: int64(rrn)})
+}
+
+// hintCountExact emits the pages expression, then the second index
+// evaluation, then the clamp of the count against that second page —
+// the oracle's npages order.
+func (kc *kcompiler) hintCountExact(arr *ir.Array, pages ir.IExpr, idx []ir.IExpr) uint16 {
+	rn0 := kc.iexpr(pages)
+	rp2 := kc.hintPage(arr, idx)
+	rn := kc.iReg()
+	lastPage := (arr.Base + arr.Elems*ir.ElemSize - 1) >> kc.shift
+	kc.emit(kinstr{op: opHintN, dst: rn, a: rn0, b: rp2, imm: lastPage})
 	return rn
 }

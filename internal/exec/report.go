@@ -73,6 +73,14 @@ type LoopReport struct {
 	Driver string         // "page-run", "kernel", or "closure"
 	Reason FallbackReason // why not page-run, when Driver != "page-run"
 	Sites  int            // span-specialized access sites (page-run only)
+
+	// Hints counts the prefetch/release statements in the loop's direct
+	// body (nested loops report their own) lowered to kernel bytecode.
+	// The nest compiler lowers every hint it reaches — side-safe shapes
+	// to single-evaluation templates, the rest to the exact
+	// double-evaluation sequence — so on the kernel path this equals the
+	// hint statement count and no hint runs as a closure call.
+	Hints int
 }
 
 func (r LoopReport) String() string {
@@ -83,7 +91,11 @@ func (r LoopReport) String() string {
 	if r.Driver == "page-run" {
 		return fmt.Sprintf("%sloop %-8s page-run (%d sites)", pad, r.Var, r.Sites)
 	}
-	return fmt.Sprintf("%sloop %-8s %-8s %s", pad, r.Var, r.Driver, r.Reason)
+	s := fmt.Sprintf("%sloop %-8s %-8s %s", pad, r.Var, r.Driver, r.Reason)
+	if r.Hints > 0 {
+		s += fmt.Sprintf(" (%d hints lowered)", r.Hints)
+	}
+	return s
 }
 
 // Reports returns the per-loop compilation reports in program order.

@@ -1,0 +1,171 @@
+package ir
+
+// Clone returns a deep copy of the program: fresh Param and Array
+// structs, and a body rebuilt so every array reference points at the
+// copies. A clone is what a compile cache must own — the caller's
+// program instance can be re-parameterized and re-resolved at will
+// (SetParam, Resolve with another page size) without mutating the array
+// geometry a cached compilation baked into its closures.
+//
+// Resolution state is carried over: if the receiver is resolved, the
+// clone is too, with the same Dims/Strides/Base.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Name:     p.Name,
+		NInt:     p.NInt,
+		NFloat:   p.NFloat,
+		ScalarsI: make(map[string]int, len(p.ScalarsI)),
+		ScalarsF: make(map[string]int, len(p.ScalarsF)),
+		Seed:     p.Seed,
+		resolved: p.resolved,
+	}
+	for k, v := range p.ScalarsI {
+		q.ScalarsI[k] = v
+	}
+	for k, v := range p.ScalarsF {
+		q.ScalarsF[k] = v
+	}
+	q.Params = make([]*Param, len(p.Params))
+	for i, prm := range p.Params {
+		cp := *prm
+		q.Params[i] = &cp
+	}
+	amap := make(map[*Array]*Array, len(p.Arrays))
+	q.Arrays = make([]*Array, len(p.Arrays))
+	for i, a := range p.Arrays {
+		ca := &Array{
+			Name:  a.Name,
+			Kind:  a.Kind,
+			Base:  a.Base,
+			Elems: a.Elems,
+		}
+		ca.DimExprs = append([]IExpr(nil), a.DimExprs...)
+		ca.Dims = append([]int64(nil), a.Dims...)
+		ca.Strides = append([]int64(nil), a.Strides...)
+		q.Arrays[i] = ca
+		amap[a] = ca
+	}
+	q.Body = cloneStmts(p.Body, amap)
+	return q
+}
+
+func cloneStmts(body []Stmt, am map[*Array]*Array) []Stmt {
+	if body == nil {
+		return nil
+	}
+	out := make([]Stmt, len(body))
+	for i, s := range body {
+		out[i] = cloneStmt(s, am)
+	}
+	return out
+}
+
+func cloneStmt(s Stmt, am map[*Array]*Array) Stmt {
+	switch x := s.(type) {
+	case *Loop:
+		cl := *x
+		cl.Lo = cloneIExpr(x.Lo, am)
+		cl.Hi = cloneIExpr(x.Hi, am)
+		cl.Body = cloneStmts(x.Body, am)
+		return &cl
+	case AssignF:
+		return AssignF{Arr: am[x.Arr], Idx: cloneIdx(x.Idx, am), RHS: cloneFExpr(x.RHS, am)}
+	case AssignI:
+		return AssignI{Arr: am[x.Arr], Idx: cloneIdx(x.Idx, am), RHS: cloneIExpr(x.RHS, am)}
+	case SetScalarF:
+		x.RHS = cloneFExpr(x.RHS, am)
+		return x
+	case SetScalarI:
+		x.RHS = cloneIExpr(x.RHS, am)
+		return x
+	case If:
+		return If{
+			Cond: cloneBExpr(x.Cond, am),
+			Then: cloneStmts(x.Then, am),
+			Else: cloneStmts(x.Else, am),
+		}
+	case Prefetch:
+		return Prefetch{Arr: am[x.Arr], Idx: cloneIdx(x.Idx, am), Pages: cloneIExpr(x.Pages, am)}
+	case Release:
+		return Release{Arr: am[x.Arr], Idx: cloneIdx(x.Idx, am), Pages: cloneIExpr(x.Pages, am)}
+	case PrefetchRelease:
+		return PrefetchRelease{
+			PfArr: am[x.PfArr], PfIdx: cloneIdx(x.PfIdx, am), PfPages: cloneIExpr(x.PfPages, am),
+			RelArr: am[x.RelArr], RelIdx: cloneIdx(x.RelIdx, am), RelPages: cloneIExpr(x.RelPages, am),
+		}
+	default:
+		// Unknown statement kinds pass through by reference; the compiler
+		// will reject them with its own diagnostic.
+		return s
+	}
+}
+
+func cloneIdx(idx []IExpr, am map[*Array]*Array) []IExpr {
+	if idx == nil {
+		return nil
+	}
+	out := make([]IExpr, len(idx))
+	for i, e := range idx {
+		out[i] = cloneIExpr(e, am)
+	}
+	return out
+}
+
+func cloneIExpr(e IExpr, am map[*Array]*Array) IExpr {
+	switch x := e.(type) {
+	case IBin:
+		x.A = cloneIExpr(x.A, am)
+		x.B = cloneIExpr(x.B, am)
+		return x
+	case ILoad:
+		return ILoad{Arr: am[x.Arr], Idx: cloneIdx(x.Idx, am)}
+	case IFromF:
+		return IFromF{X: cloneFExpr(x.X, am)}
+	default: // IConst, ISlot: pure values
+		return e
+	}
+}
+
+func cloneFExpr(e FExpr, am map[*Array]*Array) FExpr {
+	switch x := e.(type) {
+	case FLoad:
+		return FLoad{Arr: am[x.Arr], Idx: cloneIdx(x.Idx, am)}
+	case FBin:
+		x.A = cloneFExpr(x.A, am)
+		x.B = cloneFExpr(x.B, am)
+		return x
+	case FNeg:
+		return FNeg{X: cloneFExpr(x.X, am)}
+	case FromInt:
+		return FromInt{X: cloneIExpr(x.X, am)}
+	case FCall:
+		args := make([]FExpr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = cloneFExpr(a, am)
+		}
+		return FCall{Fn: x.Fn, Args: args}
+	default: // FConst, FScalar
+		return e
+	}
+}
+
+func cloneBExpr(e BExpr, am map[*Array]*Array) BExpr {
+	switch x := e.(type) {
+	case CmpI:
+		x.A = cloneIExpr(x.A, am)
+		x.B = cloneIExpr(x.B, am)
+		return x
+	case CmpF:
+		x.A = cloneFExpr(x.A, am)
+		x.B = cloneFExpr(x.B, am)
+		return x
+	case And:
+		return And{A: cloneBExpr(x.A, am), B: cloneBExpr(x.B, am)}
+	case Or:
+		return Or{A: cloneBExpr(x.A, am), B: cloneBExpr(x.B, am)}
+	case Not:
+		return Not{X: cloneBExpr(x.X, am)}
+	default:
+		return e
+	}
+}

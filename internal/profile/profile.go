@@ -217,3 +217,42 @@ func Unmarshal(data []byte) (*Set, error) {
 	}
 	return s, nil
 }
+
+// Fingerprint hashes the profile's full content (kernel, page size, and
+// every site record including stride histograms) into a 64-bit FNV-style
+// value. A compile cache keys on it so that plans guided by different
+// recorded profiles never alias, without holding the profile itself in
+// the key. Sites are hashed in slice order, which the recorder emits
+// deterministically.
+func (p *Profile) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	word := func(v uint64) { h = (h ^ v) * prime }
+	str := func(s string) {
+		word(uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			word(uint64(s[i]))
+		}
+	}
+	str(p.Kernel)
+	word(uint64(p.PageSize))
+	word(uint64(len(p.Sites)))
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		str(s.Key)
+		word(uint64(s.Count))
+		word(uint64(s.Faults))
+		word(uint64(s.MinorFaults))
+		word(uint64(s.Hits))
+		word(uint64(s.StallTicks))
+		word(uint64(s.InterTicks))
+		word(uint64(s.InterN))
+		word(uint64(len(s.Strides)))
+		for _, sp := range s.Strides {
+			word(uint64(sp.Stride))
+			word(uint64(sp.Count))
+		}
+		word(uint64(s.StrideOther))
+	}
+	return h
+}

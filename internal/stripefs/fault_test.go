@@ -148,7 +148,7 @@ func TestWritesRequeueUntilDurable(t *testing.T) {
 	pw := fs.Params().PageSize / 8
 	done := 0
 	for p := int64(0); p < 32; p++ {
-		f.Write(p, fillWords(pw, uint64(p+1)), func() { done++ })
+		f.Write(p, fillWords(pw, uint64(p+1)), func(int64) { done++ })
 	}
 	c.Drain()
 	if done != 32 {

@@ -19,6 +19,7 @@ package stripefs
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/disk"
 	"repro/internal/fault"
@@ -84,6 +85,7 @@ func NewObserved(clock *sim.Clock, p hw.Params, mkSched func() disk.Scheduler, o
 		track := o.Thread(fmt.Sprintf("disk %d", i))
 		fs.devs = append(fs.devs, disk.NewBackend(clock, p, i, s, reg, track))
 	}
+	fs.adopt()
 	return fs
 }
 
@@ -118,6 +120,81 @@ func (fs *FS) Params() hw.Params { return fs.p }
 
 // ---- request-state pools ------------------------------------------------
 
+// The pools are per-FS free lists: single-threaded push/pop with no
+// locking on the I/O path. Each run builds a fresh FS, so without help
+// every run would re-allocate its peak working set of request objects
+// from scratch; the package-level recycler below carries retired free
+// lists across FS instances. Donation (Recycle) and adoption (adopt,
+// at construction) each take one mutex operation per run — the per-I/O
+// path stays lock-free. Pooled objects bake an fs pointer into their
+// bound callbacks' receiver, so every get rebinds .fs before use.
+var recycleMu sync.Mutex
+
+var recycled struct {
+	subReqs   *subReq
+	readOps   *readOp
+	writeOps  *writeOp
+	pageBufs  [][]uint64
+	pageWords int64 // element count of the recycled page buffers
+}
+
+// adopt moves everything in the recycler into this FS's free lists.
+// Page buffers are size-specific: a stash recorded for another page
+// size is left for an FS it fits.
+func (fs *FS) adopt() {
+	pw := fs.p.PageSize / 8
+	recycleMu.Lock()
+	fs.freeSubReqs, recycled.subReqs = recycled.subReqs, nil
+	fs.freeReadOps, recycled.readOps = recycled.readOps, nil
+	fs.freeWriteOps, recycled.writeOps = recycled.writeOps, nil
+	if recycled.pageWords == pw {
+		fs.freePageBufs, recycled.pageBufs = recycled.pageBufs, nil
+	}
+	recycleMu.Unlock()
+}
+
+// Recycle donates the file system's request-object free lists to a
+// package-level stash for the next FS to adopt. Call it when a run is
+// over and all I/O has drained; the FS remains usable afterwards (its
+// pools are simply empty). Live requests are never on a free list, so
+// nothing shared escapes.
+func (fs *FS) Recycle() {
+	recycleMu.Lock()
+	if fs.freeSubReqs != nil {
+		tail := fs.freeSubReqs
+		for tail.next != nil {
+			tail = tail.next
+		}
+		tail.next = recycled.subReqs
+		recycled.subReqs, fs.freeSubReqs = fs.freeSubReqs, nil
+	}
+	if fs.freeReadOps != nil {
+		tail := fs.freeReadOps
+		for tail.next != nil {
+			tail = tail.next
+		}
+		tail.next = recycled.readOps
+		recycled.readOps, fs.freeReadOps = fs.freeReadOps, nil
+	}
+	if fs.freeWriteOps != nil {
+		tail := fs.freeWriteOps
+		for tail.next != nil {
+			tail = tail.next
+		}
+		tail.next = recycled.writeOps
+		recycled.writeOps, fs.freeWriteOps = fs.freeWriteOps, nil
+	}
+	if len(fs.freePageBufs) > 0 {
+		pw := fs.p.PageSize / 8
+		if recycled.pageWords != pw {
+			recycled.pageBufs, recycled.pageWords = nil, pw
+		}
+		recycled.pageBufs = append(recycled.pageBufs, fs.freePageBufs...)
+		fs.freePageBufs = nil
+	}
+	recycleMu.Unlock()
+}
+
 func (fs *FS) getReadOp() *readOp {
 	op := fs.freeReadOps
 	if op == nil {
@@ -125,6 +202,7 @@ func (fs *FS) getReadOp() *readOp {
 	}
 	fs.freeReadOps = op.next
 	op.next = nil
+	op.fs = fs
 	return op
 }
 
@@ -147,6 +225,7 @@ func (fs *FS) getSubReq() *subReq {
 	}
 	fs.freeSubReqs = s.next
 	s.next = nil
+	s.fs = fs
 	return s
 }
 
@@ -166,6 +245,7 @@ func (fs *FS) getWriteOp() *writeOp {
 	}
 	fs.freeWriteOps = w.next
 	w.next = nil
+	w.fs = fs
 	return w
 }
 
@@ -479,13 +559,15 @@ func (f *File) Read(page, n int64, kind disk.Kind, dst func(page int64) []uint64
 
 // writeOp is the state of one in-flight page write-back: the captured
 // page contents plus the resubmission coordinates. Pooled, with its disk
-// callbacks bound once at allocation.
+// callbacks bound once at allocation. The completion callback receives
+// the page number, so one bound-once method value per caller serves
+// every write-back (the VM's zero-alloc clean path depends on this).
 type writeOp struct {
 	fs    *FS
 	file  *File
 	page  int64
 	buf   []uint64
-	done  func()
+	done  func(page int64)
 	disk  int
 	block int64
 
@@ -507,10 +589,10 @@ func (w *writeOp) deliver() {
 	}
 	f.store[w.page] = w.buf
 	w.buf = nil
-	done := w.done
+	done, page := w.done, w.page
 	fs.putWriteOp(w)
 	if done != nil {
-		done()
+		done(page)
 	}
 }
 
@@ -526,11 +608,13 @@ func (w *writeOp) failed() {
 
 // Write issues an asynchronous write-back of one page of words. The
 // source buffer is captured immediately (the frame may be reused right
-// away); done runs at transfer completion. Dirty data must reach the
-// platter, so a write-back that exhausts its retry policy is resubmitted
-// with a fresh budget ("stripefs.requeued_writes") until it succeeds;
-// the backing store only ever changes on success.
-func (f *File) Write(page int64, src []uint64, done func()) {
+// away); done runs at transfer completion with the page that finished,
+// so callers can share one completion function across every write-back
+// instead of closing over the page. Dirty data must reach the platter,
+// so a write-back that exhausts its retry policy is resubmitted with a
+// fresh budget ("stripefs.requeued_writes") until it succeeds; the
+// backing store only ever changes on success.
+func (f *File) Write(page int64, src []uint64, done func(page int64)) {
 	f.check(page, 1)
 	fs := f.fs
 	w := fs.getWriteOp()

@@ -216,7 +216,7 @@ func TestWritePersists(t *testing.T) {
 	f, _ := fs.Create("f", 4)
 	src := fillWords(fs.Params().PageSize/8, 0xAB)
 	done := false
-	f.Write(3, src, func() { done = true })
+	f.Write(3, src, func(int64) { done = true })
 	// Source can be reused immediately: the write captured a copy.
 	for i := range src {
 		src[i] = 0

@@ -9,7 +9,10 @@ package vm
 // startClean begins a write-back of a dirty page. toFree moves the page to
 // the free list once the write completes (unless it was re-dirtied or, for
 // daemon evictions, re-referenced in the meantime); front puts it at the
-// head of the free list (the release path).
+// head of the free list (the release path). The completion is cleanedFn, a
+// method value bound once per VM: the page-table entry already carries the
+// toFree/front disposition, so nothing needs to be closed over and the
+// write path allocates nothing per page.
 func (v *VM) startClean(page int64, toFree, front bool) {
 	e := &v.pt[page]
 	e.dirty = false
@@ -19,25 +22,32 @@ func (v *VM) startClean(page int64, toFree, front bool) {
 	v.cleaningCount++
 	v.pool.cleaningCount++
 	v.n.writebacks++
-	v.file.Write(page, v.frameWords(e.frame), func() {
-		v.cleaningCount--
-		v.pool.cleaningCount--
-		v.pool.ioGen++
-		e.cleaning = false
-		if e.dirty || !e.toFree {
-			return // re-dirtied, or a plain flush: stays resident
-		}
-		if e.referenced && !e.front {
-			return // daemon eviction rescued by a touch during the write
-		}
-		e.state = freeListed
-		v.bitvec.Clear(page)
-		if e.front {
-			v.pool.pushFreeFront(e.frame)
-		} else {
-			v.pool.pushFreeBack(e.frame)
-		}
-	})
+	v.file.Write(page, v.frameWords(e.frame), v.cleanedFn)
+}
+
+// cleaned is the write-back completion: it re-reads the page's
+// disposition from the page table (the write may have raced with a
+// touch, a re-dirty, or a release upgrade) and moves the page to the
+// free list when the eviction still stands.
+func (v *VM) cleaned(page int64) {
+	e := &v.pt[page]
+	v.cleaningCount--
+	v.pool.cleaningCount--
+	v.pool.ioGen++
+	e.cleaning = false
+	if e.dirty || !e.toFree {
+		return // re-dirtied, or a plain flush: stays resident
+	}
+	if e.referenced && !e.front {
+		return // daemon eviction rescued by a touch during the write
+	}
+	e.state = freeListed
+	v.bitvec.Clear(page)
+	if e.front {
+		v.pool.pushFreeFront(e.frame)
+	} else {
+		v.pool.pushFreeBack(e.frame)
+	}
 }
 
 // Finish flushes all remaining dirty pages to disk and waits for them, so

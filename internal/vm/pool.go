@@ -52,6 +52,12 @@ type Pool struct {
 
 	vms       []*VM // attached address spaces; index is the tenant id
 	overQuota int   // tenants currently over their residency quota
+
+	// Pageout watermarks, computed once at construction. hw.Params derives
+	// them with floating-point math on every call, which is far too hot for
+	// takeFrame's per-frame path.
+	lowWater  int64
+	highWater int64
 }
 
 // NewPool creates a frame pool of p.Frames() frames with every frame on
@@ -69,6 +75,8 @@ func NewPool(clock *sim.Clock, p hw.Params) *Pool {
 		freeQ:  make([]int32, nf+1),
 	}
 	pl.daemonRunFn = pl.daemonRun
+	pl.lowWater = p.LowWater()
+	pl.highWater = p.HighWater()
 	for i := range pl.frames {
 		pl.frames[i].vpage = -1
 	}
@@ -268,7 +276,7 @@ func (pl *Pool) takeFrame(v *VM, vpage int64, mayFail bool) (int32, bool) {
 			fi.owner = v
 			fi.vpage = vpage
 			pl.residentInc(v)
-			if pl.freeCount < pl.p.LowWater() {
+			if pl.freeCount < pl.lowWater {
 				pl.kickDaemon()
 			}
 			return f, true
@@ -310,7 +318,7 @@ func (pl *Pool) kickDaemon() {
 func (pl *Pool) daemonRun() {
 	pl.daemonScheduled = false
 	pl.scans++
-	target := pl.p.HighWater()
+	target := pl.highWater
 	protect := pl.overQuota > 0
 	budget := 2 * len(pl.frames)
 	for pl.freeCount+pl.cleaningCount < target && budget > 0 {
@@ -322,7 +330,7 @@ func (pl *Pool) daemonRun() {
 			pl.evictOne(false)
 		}
 	}
-	if pl.freeCount < pl.p.LowWater() {
+	if pl.freeCount < pl.lowWater {
 		// Still short: either writes are in flight (their completions
 		// will refill the list) or everything was referenced; try again
 		// shortly in both cases.

@@ -117,12 +117,13 @@ type VM struct {
 	// that drop otherwise-acceptable prefetch hints.
 	flt *fault.Injector
 
-	// I/O callbacks bound once at construction so the hint and fault
-	// paths hand stripefs the same three method values on every read —
-	// a fresh closure per request would allocate.
+	// I/O callbacks bound once at construction so the hint, fault, and
+	// write-back paths hand stripefs the same method values on every
+	// request — a fresh closure per request would allocate.
 	dstFn     func(page int64) []uint64
 	arrivedFn func(page int64)
 	abandonFn func(page int64)
+	cleanedFn func(page int64)
 
 	// Hot-path accounting (plain fields; see tally in stats.go), the
 	// registry handles it publishes to, and trace tracks. The tracks are
@@ -182,6 +183,7 @@ func (pl *Pool) Attach(file *stripefs.File, o *obs.RunObs) *VM {
 	v.dstFn = v.framePageWords
 	v.arrivedFn = v.finishRead
 	v.abandonFn = v.abandonPrefetch
+	v.cleanedFn = v.cleaned
 	v.pfQueueMax = maxPrefetchQueue
 	v.pfFreeFloor = 2
 	for i := range v.pt {
